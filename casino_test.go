@@ -1,0 +1,95 @@
+package casino
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicRun(t *testing.T) {
+	res, err := Run(Spec{Model: ModelCASINO, Workload: "libquantum", Ops: 5000, Warmup: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC = %v", res.IPC)
+	}
+}
+
+func TestPublicConfigs(t *testing.T) {
+	c := DefaultCASINOConfig()
+	if c.WS != 2 || c.SO != 1 || c.SIQSize != 4 || c.IQSize != 12 {
+		t.Errorf("default CASINO config wrong: %+v", c)
+	}
+	c.Renaming = RenameConventional
+	c.Disambig = DisambigNoLQ
+	res, err := Run(Spec{Model: ModelCASINO, Workload: "gcc", Ops: 4000, Warmup: 500, Seed: 1, CasinoCfg: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Error("ablation config run failed")
+	}
+	if w := WideCASINOConfig(4); w.Width != 4 || w.MidSIQs != 2 {
+		t.Errorf("WideCASINOConfig: %+v", w)
+	}
+	if o := DefaultOoOConfig(); o.LQSize != 16 {
+		t.Errorf("OoO config: %+v", o)
+	}
+	if i := DefaultInOConfig(); i.SCBSize != 4 {
+		t.Errorf("InO config: %+v", i)
+	}
+	if s := DefaultSliceConfig(true); s.Kind.String() != "Freeway" {
+		t.Errorf("slice config: %+v", s)
+	}
+	if sp := DefaultSpecInOConfig(2, 1); sp.WS != 2 {
+		t.Errorf("specino config: %+v", sp)
+	}
+	if m := DefaultMemConfig(); m.L2Size != 1<<20 {
+		t.Errorf("mem config: %+v", m)
+	}
+}
+
+func TestWorkloadsAndModels(t *testing.T) {
+	if len(Workloads()) != 25 {
+		t.Errorf("%d workloads", len(Workloads()))
+	}
+	if len(Models()) != 7 {
+		t.Errorf("%d models", len(Models()))
+	}
+	if _, err := WorkloadByName("mcf"); err != nil {
+		t.Error(err)
+	}
+	tr, err := GenerateTrace("mcf", 1000, 3)
+	if err != nil || tr.Len() < 1000 {
+		t.Errorf("GenerateTrace: %v len=%d", err, tr.Len())
+	}
+	if _, err := GenerateTrace("nope", 10, 1); err == nil {
+		t.Error("bad workload accepted")
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	out, err := Figure("table1", Options{})
+	if err != nil || !strings.Contains(out, "S-IQ") {
+		t.Errorf("table1: %v", err)
+	}
+	if _, err := Figure("fig99", Options{}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if len(Figures()) != 10 {
+		t.Errorf("Figures() = %v", Figures())
+	}
+	if testing.Short() {
+		return
+	}
+	small := Options{Apps: []string{"libquantum"}, Ops: 4000, Warmup: 1000, Seed: 1}
+	for _, id := range []string{"fig6", "fig10b"} {
+		out, err := Figure(id, small)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "libquantum") && !strings.Contains(out, "[2,1]") {
+			t.Errorf("%s output suspicious:\n%s", id, out)
+		}
+	}
+}

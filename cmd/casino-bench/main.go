@@ -1,0 +1,72 @@
+// Command casino-bench regenerates the paper's tables and figures as text
+// tables.
+//
+// Usage:
+//
+//	casino-bench -fig 6                  # Fig. 6 over all 25 workloads
+//	casino-bench -fig all -ops 100000    # the whole evaluation section
+//	casino-bench -fig 8 -apps mcf,milc   # a subset of applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"casino"
+	"casino/internal/sim"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "6", "figure id ("+strings.Join(casino.Figures(), ", ")+") or 'all'")
+		ops     = flag.Int("ops", 60000, "measured instructions per run")
+		warmup  = flag.Int("warmup", 15000, "warm-up instructions per run")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+		apps    = flag.String("apps", "", "comma-separated workload subset (default: all 25)")
+		jsonOut = flag.String("json", "", "write raw per-app results as JSON to this file (fig2/fig6 only)")
+	)
+	flag.Parse()
+
+	o := casino.Options{Ops: *ops, Warmup: *warmup, Seed: *seed}
+	if *apps != "" {
+		o.Apps = strings.Split(*apps, ",")
+	}
+
+	if *jsonOut != "" {
+		so := sim.Options{Ops: o.Ops, Warmup: o.Warmup, Seed: o.Seed, Apps: o.Apps}
+		suite, err := sim.RunSuiteJSON(*fig, so)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := suite.ExportJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s results to %s\n", *fig, *jsonOut)
+		return
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = casino.Figures()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := casino.Figure(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), out)
+	}
+}

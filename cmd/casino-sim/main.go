@@ -1,0 +1,97 @@
+// Command casino-sim runs one core model on one workload and prints its
+// timing, energy and activity statistics.
+//
+// Usage:
+//
+//	casino-sim -model casino -workload libquantum -ops 200000
+//	casino-sim -model ooo -workload h264ref -ops 100000 -seed 7
+//	casino-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"casino"
+	"casino/internal/trace"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", casino.ModelCASINO, "core model: one of "+fmt.Sprint(casino.Models()))
+		wl      = flag.String("workload", "libquantum", "workload profile (see -list)")
+		ops     = flag.Int("ops", 100000, "measured instructions")
+		warmup  = flag.Int("warmup", 20000, "warm-up instructions before measurement")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+		width   = flag.Int("width", 2, "issue width (2, 3 or 4; CASINO/OoO scale per §VI-F)")
+		traceIn = flag.String("trace", "", "run over a trace file (from casino-trace -o) instead of generating")
+		list    = flag.Bool("list", false, "list models and workloads, then exit")
+		verbose = flag.Bool("v", false, "print model-specific statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("models:   ", casino.Models())
+		fmt.Println("workloads:", casino.Workloads())
+		return
+	}
+
+	spec := casino.Spec{Model: *model, Workload: *wl, Ops: *ops, Warmup: *warmup, Seed: *seed}
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-sim: %v\n", err)
+			os.Exit(1)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-sim: %v\n", err)
+			os.Exit(1)
+		}
+		spec.Trace = tr
+	}
+	if *width > 2 {
+		switch *model {
+		case casino.ModelCASINO:
+			cfg := casino.WideCASINOConfig(*width)
+			spec.CasinoCfg = &cfg
+		case casino.ModelOoO, casino.ModelOoONoLQ:
+			cfg := casino.WideOoOConfig(*width)
+			spec.OoOCfg = &cfg
+		default:
+			fmt.Fprintf(os.Stderr, "casino-sim: -width > 2 supports casino/ooo models only\n")
+			os.Exit(2)
+		}
+	}
+
+	res, err := casino.Run(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casino-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model        %s\n", res.Model)
+	fmt.Printf("workload     %s\n", res.Workload)
+	fmt.Printf("instructions %d\n", res.Instructions)
+	fmt.Printf("cycles       %d\n", res.Cycles)
+	fmt.Printf("IPC          %.4f\n", res.IPC)
+	fmt.Printf("area         %.3f mm^2\n", res.AreaMM2)
+	fmt.Printf("energy       %.1f uJ total (%.1f dynamic, %.1f leakage)\n",
+		res.TotalPJ/1e6, res.DynamicPJ/1e6, res.StaticPJ/1e6)
+	fmt.Printf("energy/inst  %.1f pJ\n", res.EnergyPerInst)
+	fmt.Printf("perf/energy  %.3f IPC per nJ/inst\n", res.PerfPerEnergy)
+	if *verbose && len(res.Extra) > 0 {
+		keys := make([]string, 0, len(res.Extra))
+		for k := range res.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("--- model statistics ---")
+		for _, k := range keys {
+			fmt.Printf("%-14s %.4g\n", k, res.Extra[k])
+		}
+	}
+}

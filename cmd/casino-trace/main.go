@@ -1,0 +1,81 @@
+// Command casino-trace generates and inspects workload traces.
+//
+// Usage:
+//
+//	casino-trace -workload mcf -n 100000 -o mcf.trace   # generate + save
+//	casino-trace -workload mcf -n 100000 -stats         # mix statistics
+//	casino-trace -in mcf.trace -dump 20                 # inspect a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casino"
+	"casino/internal/trace"
+)
+
+func main() {
+	var (
+		wl    = flag.String("workload", "", "workload profile to generate")
+		n     = flag.Int("n", 100000, "number of micro-ops to generate")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		out   = flag.String("o", "", "write the trace to this file")
+		in    = flag.String("in", "", "read a trace from this file instead of generating")
+		stats = flag.Bool("stats", true, "print mix statistics")
+		dump  = flag.Int("dump", 0, "print the first N micro-ops")
+	)
+	flag.Parse()
+
+	var tr *casino.Trace
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err = trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+	case *wl != "":
+		var err error
+		tr, err = casino.GenerateTrace(*wl, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "casino-trace: need -workload or -in (workloads:", casino.Workloads(), ")")
+		os.Exit(2)
+	}
+
+	if *stats {
+		m := tr.Stats()
+		fmt.Printf("trace %s: %s\n", tr.Name, m.String())
+	}
+	if *dump > 0 {
+		for i := 0; i < *dump && i < tr.Len(); i++ {
+			fmt.Println(tr.Ops[i].String())
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d ops to %s\n", tr.Len(), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "casino-trace: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+package casino
+
+// Architectural invariant across all core models: instructions commit
+// exactly once each, in program order (sequence numbers 0,1,2,...), no
+// matter how speculatively the model issued them. The cores expose an
+// OnCommit hook for this check.
+
+import (
+	"testing"
+
+	"casino/internal/energy"
+	"casino/internal/ino"
+	"casino/internal/mem"
+	"casino/internal/ooo"
+	"casino/internal/slice"
+	"casino/internal/specino"
+	"casino/internal/workload"
+)
+
+type commitWatch struct {
+	t    *testing.T
+	name string
+	next uint64
+}
+
+func (cw *commitWatch) hook() func(uint64) {
+	return func(seq uint64) {
+		if seq != cw.next {
+			cw.t.Fatalf("%s: commit order violated: got %d, want %d", cw.name, seq, cw.next)
+		}
+		cw.next++
+	}
+}
+
+func TestCommitOrderAllCores(t *testing.T) {
+	p, _ := workload.ByName("h264ref") // aliasing + violations stress recovery paths
+	tr := workload.Generate(p, 12000, 1)
+
+	type stepper interface {
+		Cycle()
+		Done() bool
+		Committed() uint64
+	}
+	cases := []struct {
+		name  string
+		build func(hook func(uint64)) stepper
+	}{
+		{"ino", func(h func(uint64)) stepper {
+			c := ino.New(ino.DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+			c.OnCommit = h
+			return c
+		}},
+		{"ooo", func(h func(uint64)) stepper {
+			c := ooo.New(ooo.DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+			c.OnCommit = h
+			return c
+		}},
+		{"ooo-nolq", func(h func(uint64)) stepper {
+			cfg := ooo.DefaultConfig()
+			cfg.NoLQ = true
+			c := ooo.New(cfg, tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+			c.OnCommit = h
+			return c
+		}},
+		{"lsc", func(h func(uint64)) stepper {
+			c := slice.New(slice.DefaultConfig(slice.LSC), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+			c.OnCommit = h
+			return c
+		}},
+		{"freeway", func(h func(uint64)) stepper {
+			c := slice.New(slice.DefaultConfig(slice.Freeway), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+			c.OnCommit = h
+			return c
+		}},
+		{"specino", func(h func(uint64)) stepper {
+			c := specino.New(specino.DefaultConfig(2, 1), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+			c.OnCommit = h
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		cw := &commitWatch{t: t, name: tc.name}
+		c := tc.build(cw.hook())
+		for i := 0; i < 100_000_000 && !c.Done(); i++ {
+			c.Cycle()
+		}
+		if !c.Done() {
+			t.Fatalf("%s livelocked", tc.name)
+		}
+		if cw.next != uint64(tr.Len()) {
+			t.Errorf("%s: committed %d of %d", tc.name, cw.next, tr.Len())
+		}
+	}
+}
+
+func TestResultBreakdownsPopulated(t *testing.T) {
+	res, err := Run(Spec{Model: ModelCASINO, Workload: "gcc", Ops: 4000, Warmup: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EnergyParts) == 0 || len(res.AreaParts) == 0 {
+		t.Fatal("breakdowns missing")
+	}
+	for _, key := range []string{"S-IQ", "IQ", "SQ", "PRF", "ROB", "FUs", "Leakage"} {
+		if _, ok := res.EnergyParts[key]; !ok {
+			t.Errorf("energy breakdown missing %q", key)
+		}
+	}
+	var sum float64
+	for _, v := range res.AreaParts {
+		sum += v
+	}
+	if diff := sum - res.AreaMM2; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("area parts sum %v != total %v", sum, res.AreaMM2)
+	}
+}

@@ -1,0 +1,56 @@
+package casino_test
+
+import (
+	"fmt"
+
+	"casino"
+)
+
+// Run a single simulation of the CASINO core and read its headline
+// metrics.
+func ExampleRun() {
+	res, err := casino.Run(casino.Spec{
+		Model:    casino.ModelCASINO,
+		Workload: "libquantum",
+		Ops:      20000,
+		Warmup:   5000,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Model, res.Workload, res.Instructions >= 20000, res.IPC > 0)
+	// Output: casino libquantum true true
+}
+
+// Configure an ablation: conventional renaming with the paper's small PRF.
+func ExampleRun_ablation() {
+	cfg := casino.DefaultCASINOConfig()
+	cfg.Renaming = casino.RenameConventional
+	res, err := casino.Run(casino.Spec{
+		Model: casino.ModelCASINO, Workload: "gcc",
+		Ops: 5000, Warmup: 1000, Seed: 1, CasinoCfg: &cfg,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.IPC > 0, res.Extra["regAllocs"] > 0)
+	// Output: true true
+}
+
+// Generate a deterministic workload trace and inspect its mix.
+func ExampleGenerateTrace() {
+	tr, err := casino.GenerateTrace("mcf", 10000, 42)
+	if err != nil {
+		panic(err)
+	}
+	m := tr.Stats()
+	fmt.Println(tr.Name, tr.Len() >= 10000, m.LoadFrac() > 0.05)
+	// Output: mcf true true
+}
+
+// List what can be run.
+func ExampleModels() {
+	fmt.Println(len(casino.Models()), len(casino.Workloads()), len(casino.Figures()))
+	// Output: 7 25 10
+}

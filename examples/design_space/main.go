@@ -1,0 +1,56 @@
+// Design-space exploration (the paper's §VI-E): sweep the SpecInO window
+// configuration [WS,SO] and the IQ depth of the CASINO core on a chosen
+// workload, printing where performance peaks — the experiment behind the
+// paper's choice of SpecInO[2,1] with a 12-entry IQ.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"casino"
+)
+
+func main() {
+	wl := flag.String("workload", "milc", "workload to explore")
+	ops := flag.Int("ops", 50000, "measured instructions per point")
+	flag.Parse()
+
+	run := func(cfg casino.CASINOConfig) float64 {
+		res, err := casino.Run(casino.Spec{
+			Model: casino.ModelCASINO, Workload: *wl,
+			Ops: *ops, Warmup: *ops / 4, Seed: 1,
+			CasinoCfg: &cfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.IPC
+	}
+
+	fmt.Printf("CASINO design space on %q\n\n", *wl)
+
+	fmt.Println("SpecInO window [WS,SO] (IPC):")
+	base := run(casino.DefaultCASINOConfig())
+	for _, p := range [][2]int{{1, 1}, {2, 1}, {2, 2}, {3, 1}, {3, 3}, {4, 1}, {4, 4}} {
+		cfg := casino.DefaultCASINOConfig()
+		cfg.WS, cfg.SO = p[0], p[1]
+		ipc := run(cfg)
+		marker := ""
+		if p == [2]int{2, 1} {
+			marker = "   <- paper's choice"
+		}
+		fmt.Printf("  [%d,%d]  IPC %.3f  (%.1f%% vs [2,1])%s\n",
+			p[0], p[1], ipc, 100*(ipc/base-1), marker)
+	}
+
+	fmt.Println("\nIQ size (IPC, with ample other resources):")
+	for _, sz := range []int{4, 8, 12, 16, 20, 24} {
+		cfg := casino.DefaultCASINOConfig()
+		cfg.IQSize = sz
+		cfg.ROBSize, cfg.SQSize = 256, 64
+		cfg.IntPRF, cfg.FPPRF, cfg.DataBufSize = 256, 128, 64
+		fmt.Printf("  IQ=%-3d IPC %.3f\n", sz, run(cfg))
+	}
+}

@@ -1,0 +1,58 @@
+// Energy efficiency (the paper's §VI-D/§VI-F motivation): an
+// energy-constrained (mobile) design point wants OoO-class performance at
+// near-in-order energy. This example compares performance, area, energy
+// per instruction and the paper's performance/energy metric across the
+// evaluated cores and issue widths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"casino"
+)
+
+var apps = []string{"libquantum", "cactusADM", "hmmer", "h264ref"}
+
+func main() {
+	fmt.Println("2-wide cores (geometric means over", apps, "):")
+	fmt.Printf("%-10s %10s %10s %12s %14s\n", "model", "IPC", "mm^2", "pJ/inst", "perf/energy")
+	for _, model := range []string{casino.ModelInO, casino.ModelLSC, casino.ModelFreeway,
+		casino.ModelCASINO, casino.ModelOoO, casino.ModelOoONoLQ} {
+		ipc, area, epi, pe := geo(model, nil, nil)
+		fmt.Printf("%-10s %10.3f %10.2f %12.1f %14.2f\n", model, ipc, area, epi, pe)
+	}
+
+	fmt.Println("\nscaling CASINO and OoO to wider issue (§VI-F):")
+	fmt.Printf("%-12s %10s %12s %14s\n", "config", "IPC", "pJ/inst", "perf/energy")
+	for _, w := range []int{2, 3, 4} {
+		cc := casino.WideCASINOConfig(w)
+		ipc, _, epi, pe := geo(casino.ModelCASINO, &cc, nil)
+		fmt.Printf("CASINO-%dw   %10.3f %12.1f %14.2f\n", w, ipc, epi, pe)
+		oc := casino.WideOoOConfig(w)
+		ipc, _, epi, pe = geo(casino.ModelOoO, nil, &oc)
+		fmt.Printf("OoO-%dw      %10.3f %12.1f %14.2f\n", w, ipc, epi, pe)
+	}
+}
+
+// geo runs the model on every app and returns geometric-mean IPC plus
+// area, energy/instruction and performance-per-energy.
+func geo(model string, cc *casino.CASINOConfig, oc *casino.OoOConfig) (ipc, area, epi, pe float64) {
+	ipc, epi, pe = 1, 1, 1
+	for _, app := range apps {
+		res, err := casino.Run(casino.Spec{
+			Model: model, Workload: app, Ops: 40000, Warmup: 10000, Seed: 1,
+			CasinoCfg: cc, OoOCfg: oc,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipc *= res.IPC
+		epi *= res.EnergyPerInst
+		pe *= res.PerfPerEnergy
+		area = res.AreaMM2
+	}
+	n := float64(len(apps))
+	return math.Pow(ipc, 1/n), area, math.Pow(epi, 1/n), math.Pow(pe, 1/n)
+}

@@ -1,0 +1,38 @@
+// Quickstart: run the CASINO core next to the in-order and out-of-order
+// baselines on one memory-bound workload and compare IPC — the paper's
+// headline claim in one screen of code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casino"
+)
+
+func main() {
+	const workload = "libquantum" // streaming, memory-level-parallelism rich
+
+	fmt.Printf("workload: %s\n\n", workload)
+	fmt.Printf("%-8s %8s %10s %12s\n", "model", "IPC", "pJ/inst", "IPC/(nJ/in)")
+
+	var inoIPC float64
+	for _, model := range []string{casino.ModelInO, casino.ModelCASINO, casino.ModelOoO} {
+		res, err := casino.Run(casino.Spec{
+			Model:    model,
+			Workload: workload,
+			Ops:      100000,
+			Warmup:   20000,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %8.3f %10.1f %12.2f\n", model, res.IPC, res.EnergyPerInst, res.PerfPerEnergy)
+		if model == casino.ModelInO {
+			inoIPC = res.IPC
+		} else {
+			fmt.Printf("         (%.0f%% over in-order)\n", 100*(res.IPC/inoIPC-1))
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// TSO load-load ordering (§III-C4, last paragraph): CASINO keeps total
+// store order without a load queue by putting sentinels on cache lines
+// read by speculatively reordered loads — a remote store's invalidation is
+// acknowledged only after the guarding load commits. This example turns on
+// the synthetic coherence-traffic injector (a stand-in for a second core)
+// and reports how often the mechanism engages and what it costs the
+// remote agent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casino"
+)
+
+func main() {
+	const workload = "milc" // overlapped loads → frequent load-load reordering
+
+	fmt.Printf("workload: %s, synthetic remote invalidations at varying rates\n\n", workload)
+	fmt.Printf("%-18s %8s %12s %14s %14s\n",
+		"remote period", "IPC", "invals", "acks withheld", "delay cyc/ack")
+
+	for _, period := range []int{0, 200, 50, 10} {
+		cfg := casino.DefaultCASINOConfig()
+		cfg.Remote.Period = period
+		res, err := casino.Run(casino.Spec{
+			Model: casino.ModelCASINO, Workload: workload,
+			Ops: 60000, Warmup: 15000, Seed: 1, CasinoCfg: &cfg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("every %d cycles", period)
+		if period == 0 {
+			label = "off (single core)"
+		}
+		invals := res.Extra["remoteInvals"]
+		withheld := res.Extra["remoteWithheld"]
+		perAck := 0.0
+		if withheld > 0 {
+			perAck = res.Extra["remoteDelayCyc"] / withheld
+		}
+		fmt.Printf("%-18s %8.3f %12.0f %14.0f %14.1f\n", label, res.IPC, invals, withheld, perAck)
+	}
+
+	fmt.Println("\nThe local core's IPC is insensitive to remote traffic (the sentinel")
+	fmt.Println("delays only the remote store's retirement), and the withheld-ack rate")
+	fmt.Println("tracks how often loads were issued past older non-performed loads —")
+	fmt.Println("TSO is preserved with no load-queue searches at all.")
+}

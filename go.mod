@@ -1,0 +1,3 @@
+module casino
+
+go 1.22

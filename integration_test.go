@@ -1,0 +1,149 @@
+package casino
+
+// Integration tests: every core model against every workload profile,
+// cross-model invariants, and end-to-end determinism. These exercise the
+// full stack (workload generation → front end → core → memory hierarchy →
+// energy accounting) rather than any single package.
+
+import (
+	"testing"
+
+	"casino/internal/sim"
+)
+
+func TestIntegrationAllModelsAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix")
+	}
+	const ops, warmup = 6000, 1500
+	for _, model := range Models() {
+		for _, wl := range Workloads() {
+			res, err := Run(Spec{Model: model, Workload: wl, Ops: ops, Warmup: warmup, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", model, wl, err)
+			}
+			// Measurement stops on a cycle boundary: up to Width-1
+			// instructions of overshoot are expected.
+			if res.Instructions < ops || res.Instructions > ops+4 {
+				t.Errorf("%s/%s: measured %d instructions, want ~%d", model, wl, res.Instructions, ops)
+			}
+			if res.IPC <= 0.01 || res.IPC > float64(4) {
+				t.Errorf("%s/%s: IPC %.3f outside sane bounds", model, wl, res.IPC)
+			}
+			if res.TotalPJ <= 0 {
+				t.Errorf("%s/%s: no energy accounted", model, wl)
+			}
+		}
+	}
+}
+
+// The fundamental performance ordering must hold per workload for the
+// memory-parallel profiles: InO <= CASINO and CASINO <= OoO-with-slack.
+func TestIntegrationPerformanceOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model runs")
+	}
+	for _, wl := range []string{"libquantum", "milc", "cactusADM", "sphinx3", "bwaves"} {
+		ipc := map[string]float64{}
+		for _, model := range []string{ModelInO, ModelCASINO, ModelOoO} {
+			res, err := Run(Spec{Model: model, Workload: wl, Ops: 12000, Warmup: 3000, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ipc[model] = res.IPC
+		}
+		if ipc[ModelCASINO] < ipc[ModelInO]*0.98 {
+			t.Errorf("%s: CASINO %.3f below InO %.3f", wl, ipc[ModelCASINO], ipc[ModelInO])
+		}
+		if ipc[ModelCASINO] > ipc[ModelOoO]*1.10 {
+			t.Errorf("%s: CASINO %.3f implausibly above OoO %.3f", wl, ipc[ModelCASINO], ipc[ModelOoO])
+		}
+	}
+}
+
+// Commit counts must equal trace length for every model even on the
+// violation-heavy profile (no lost or double-committed instructions
+// through flush/refetch).
+func TestIntegrationExactCommitUnderViolations(t *testing.T) {
+	for _, model := range []string{ModelCASINO, ModelOoO, ModelOoONoLQ} {
+		res, err := Run(Spec{Model: model, Workload: "h264ref", Ops: 10000, Warmup: 0, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Instructions != 10000 {
+			t.Errorf("%s: committed %d of 10000", model, res.Instructions)
+		}
+	}
+}
+
+// Different seeds must give different (but valid) executions; the same
+// seed must be bit-identical across all models.
+func TestIntegrationSeeding(t *testing.T) {
+	for _, model := range []string{ModelCASINO, ModelLSC, ModelSpecInO} {
+		a, err := Run(Spec{Model: model, Workload: "gcc", Ops: 5000, Warmup: 1000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Spec{Model: model, Workload: "gcc", Ops: 5000, Warmup: 1000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles || a.TotalPJ != b.TotalPJ {
+			t.Errorf("%s: same seed diverged", model)
+		}
+		c, err := Run(Spec{Model: model, Workload: "gcc", Ops: 5000, Warmup: 1000, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles == c.Cycles && a.IPC == c.IPC {
+			t.Errorf("%s: different seeds produced identical timing", model)
+		}
+	}
+}
+
+// The energy model's cross-core invariants, independent of workload:
+// CASINO sits between InO and OoO in area; the OoO without LQ sits
+// between CASINO and OoO.
+func TestIntegrationAreaOrdering(t *testing.T) {
+	area := map[string]float64{}
+	for _, model := range []string{ModelInO, ModelCASINO, ModelOoO, ModelOoONoLQ} {
+		res, err := Run(Spec{Model: model, Workload: "gcc", Ops: 2000, Warmup: 0, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		area[model] = res.AreaMM2
+	}
+	if !(area[ModelInO] < area[ModelCASINO] && area[ModelCASINO] < area[ModelOoONoLQ] &&
+		area[ModelOoONoLQ] < area[ModelOoO]) {
+		t.Errorf("area ordering wrong: %v", area)
+	}
+}
+
+// Cross-check the harness against a hand-driven run: sim.Run's IPC must
+// match stepping the core manually over the same trace and window.
+func TestIntegrationHarnessConsistency(t *testing.T) {
+	res, err := Run(Spec{Model: ModelInO, Workload: "hmmer", Ops: 5000, Warmup: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sim.Run(sim.Spec{Model: sim.ModelInO, Workload: "hmmer", Ops: 5000, Warmup: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC != res2.IPC || res.Cycles != res2.Cycles {
+		t.Error("facade and harness disagree")
+	}
+}
+
+// TSO remote-traffic configuration flows through the public API.
+func TestIntegrationRemoteTraffic(t *testing.T) {
+	cfg := DefaultCASINOConfig()
+	cfg.Remote.Period = 64
+	res, err := Run(Spec{Model: ModelCASINO, Workload: "milc", Ops: 8000, Warmup: 2000, Seed: 1, CasinoCfg: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Error("remote-traffic run failed")
+	}
+}

@@ -1,0 +1,201 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTAGELearnsAlwaysTaken(t *testing.T) {
+	p := NewTAGE()
+	pc := uint64(0x1000)
+	for i := 0; i < 100; i++ {
+		p.Predict(pc)
+		p.Update(pc, true)
+	}
+	mpBefore := p.Mispredicts
+	for i := 0; i < 100; i++ {
+		p.Predict(pc)
+		p.Update(pc, true)
+	}
+	if p.Mispredicts != mpBefore {
+		t.Errorf("mispredicted an always-taken branch after warm-up: %d new", p.Mispredicts-mpBefore)
+	}
+}
+
+func TestTAGELearnsAlternating(t *testing.T) {
+	p := NewTAGE()
+	pc := uint64(0x2000)
+	for i := 0; i < 500; i++ {
+		p.Predict(pc)
+		p.Update(pc, i%2 == 0)
+	}
+	mpBefore := p.Mispredicts
+	for i := 500; i < 1000; i++ {
+		p.Predict(pc)
+		p.Update(pc, i%2 == 0)
+	}
+	rate := float64(p.Mispredicts-mpBefore) / 500
+	if rate > 0.05 {
+		t.Errorf("alternating pattern mispredict rate %.2f, want near 0 (history tables should capture it)", rate)
+	}
+}
+
+func TestTAGELearnsLoopPattern(t *testing.T) {
+	// Loop branch: taken 7 times then not taken, repeating. Requires
+	// history to catch the exit.
+	p := NewTAGE()
+	pc := uint64(0x3000)
+	outcome := func(i int) bool { return i%8 != 7 }
+	for i := 0; i < 2000; i++ {
+		p.Predict(pc)
+		p.Update(pc, outcome(i))
+	}
+	mpBefore := p.Mispredicts
+	for i := 2000; i < 4000; i++ {
+		p.Predict(pc)
+		p.Update(pc, outcome(i))
+	}
+	rate := float64(p.Mispredicts-mpBefore) / 2000
+	if rate > 0.08 {
+		t.Errorf("period-8 loop mispredict rate %.3f, want < 0.08", rate)
+	}
+}
+
+func TestTAGERandomIsHard(t *testing.T) {
+	p := NewTAGE()
+	rng := rand.New(rand.NewSource(1))
+	pc := uint64(0x4000)
+	for i := 0; i < 20000; i++ {
+		p.Predict(pc)
+		p.Update(pc, rng.Float64() < 0.5)
+	}
+	if r := p.MispredictRate(); r < 0.35 {
+		t.Errorf("random branch mispredict rate %.3f — implausibly clairvoyant", r)
+	}
+}
+
+func TestTAGEBiasedBranch(t *testing.T) {
+	p := NewTAGE()
+	rng := rand.New(rand.NewSource(2))
+	pc := uint64(0x5000)
+	for i := 0; i < 20000; i++ {
+		p.Predict(pc)
+		p.Update(pc, rng.Float64() < 0.9) // 90% taken
+	}
+	if r := p.MispredictRate(); r > 0.2 {
+		t.Errorf("90%%-biased branch mispredict rate %.3f, want <= ~0.12", r)
+	}
+}
+
+func TestTAGEManyBranchesNoInterference(t *testing.T) {
+	p := NewTAGE()
+	// 64 always-taken branches at distinct PCs must all be learnable.
+	for round := 0; round < 50; round++ {
+		for b := 0; b < 64; b++ {
+			pc := uint64(0x6000 + b*4)
+			p.Predict(pc)
+			p.Update(pc, true)
+		}
+	}
+	mpBefore := p.Mispredicts
+	for b := 0; b < 64; b++ {
+		pc := uint64(0x6000 + b*4)
+		p.Predict(pc)
+		p.Update(pc, true)
+	}
+	if p.Mispredicts != mpBefore {
+		t.Errorf("steady branches mispredicted: %d", p.Mispredicts-mpBefore)
+	}
+}
+
+func TestTAGEReset(t *testing.T) {
+	p := NewTAGE()
+	p.Predict(0x100)
+	p.Update(0x100, true)
+	p.Reset()
+	if p.Lookups != 0 || p.Mispredicts != 0 || p.ghr != 0 {
+		t.Error("Reset incomplete")
+	}
+	if p.MispredictRate() != 0 {
+		t.Error("rate after reset")
+	}
+}
+
+func TestBTBStoreLookup(t *testing.T) {
+	b := NewBTB()
+	if _, ok := b.Lookup(0x100); ok {
+		t.Error("cold BTB hit")
+	}
+	b.Update(0x100, 0x900)
+	tgt, ok := b.Lookup(0x100)
+	if !ok || tgt != 0x900 {
+		t.Errorf("Lookup = %#x,%v", tgt, ok)
+	}
+	b.Update(0x100, 0xA00) // retarget
+	tgt, _ = b.Lookup(0x100)
+	if tgt != 0xA00 {
+		t.Errorf("retarget failed: %#x", tgt)
+	}
+}
+
+func TestBTBLRUWithinSet(t *testing.T) {
+	b := newBTB(1, 2)
+	b.Update(0x10, 1)
+	b.Update(0x20, 2)
+	b.Lookup(0x10) // refresh
+	b.Update(0x30, 3)
+	if _, ok := b.Lookup(0x10); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if _, ok := b.Lookup(0x20); ok {
+		t.Error("LRU entry kept")
+	}
+}
+
+func TestPredictorOnBranch(t *testing.T) {
+	p := NewPredictor()
+	pc, tgt := uint64(0x100), uint64(0x800)
+	// First taken encounter: direction unknown + no BTB entry → incorrect.
+	if p.OnBranch(pc, true, tgt) {
+		t.Error("cold taken branch predicted correctly (no BTB target)")
+	}
+	for i := 0; i < 20; i++ {
+		p.OnBranch(pc, true, tgt)
+	}
+	if !p.OnBranch(pc, true, tgt) {
+		t.Error("warm branch mispredicted")
+	}
+	// Target change forces a mispredict even with correct direction.
+	if p.OnBranch(pc, true, 0xF00) {
+		t.Error("target change not detected")
+	}
+	if p.MispredictRate() <= 0 {
+		t.Error("rate should be positive")
+	}
+	p.Reset()
+	if p.Branches != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestPredictorNotTakenNeedsNoBTB(t *testing.T) {
+	p := NewPredictor()
+	pc := uint64(0x200)
+	for i := 0; i < 20; i++ {
+		p.OnBranch(pc, false, 0)
+	}
+	if !p.OnBranch(pc, false, 0) {
+		t.Error("steady not-taken branch mispredicted without BTB entry")
+	}
+}
+
+func BenchmarkTAGE(b *testing.B) {
+	p := NewTAGE()
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x1000 + (i%256)*4)
+		p.Predict(pc)
+		p.Update(pc, rng.Intn(4) != 0)
+	}
+}

@@ -1,0 +1,134 @@
+package bpred
+
+// BTB is the branch target buffer of Table I: 512 sets, 4-way set
+// associative, LRU replacement.
+type BTB struct {
+	sets  int
+	ways  int
+	tags  []uint64
+	tgt   []uint64
+	valid []bool
+	age   []uint64
+	clock uint64
+
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewBTB creates the 512-set, 4-way BTB.
+func NewBTB() *BTB { return newBTB(512, 4) }
+
+func newBTB(sets, ways int) *BTB {
+	n := sets * ways
+	return &BTB{
+		sets: sets, ways: ways,
+		tags: make([]uint64, n), tgt: make([]uint64, n),
+		valid: make([]bool, n), age: make([]uint64, n),
+	}
+}
+
+func (b *BTB) setOf(pc uint64) int { return int((pc >> 2) % uint64(b.sets)) }
+
+// Lookup returns the stored target for pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	b.Lookups++
+	base := b.setOf(pc) * b.ways
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			b.clock++
+			b.age[i] = b.clock
+			b.Hits++
+			return b.tgt[i], true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	base := b.setOf(pc) * b.ways
+	b.clock++
+	vi := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			b.tgt[i] = target
+			b.age[i] = b.clock
+			return
+		}
+		if !b.valid[i] {
+			vi = i
+			oldest = 0
+		} else if b.age[i] < oldest {
+			oldest = b.age[i]
+			vi = i
+		}
+	}
+	b.valid[vi] = true
+	b.tags[vi] = pc
+	b.tgt[vi] = target
+	b.age[vi] = b.clock
+}
+
+// Reset clears all entries and statistics.
+func (b *BTB) Reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+	b.clock = 0
+	b.Lookups, b.Hits = 0, 0
+}
+
+// Predictor bundles direction (TAGE) and target (BTB) prediction, exposing
+// the single check a trace-driven front end needs: was this branch
+// predicted correctly?
+type Predictor struct {
+	TAGE *TAGE
+	BTB  *BTB
+
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// NewPredictor creates the Table I predictor pair.
+func NewPredictor() *Predictor {
+	return &Predictor{TAGE: NewTAGE(), BTB: NewBTB()}
+}
+
+// OnBranch predicts the branch at pc, trains with the resolved outcome
+// (taken, target), and reports whether the prediction was correct. A taken
+// branch also requires a BTB target match.
+func (p *Predictor) OnBranch(pc uint64, taken bool, target uint64) (correct bool) {
+	p.Branches++
+	predTaken := p.TAGE.Predict(pc)
+	btbTarget, btbHit := p.BTB.Lookup(pc)
+	correct = predTaken == taken
+	if taken && correct {
+		correct = btbHit && btbTarget == target
+	}
+	p.TAGE.Update(pc, taken)
+	if taken {
+		p.BTB.Update(pc, target)
+	}
+	if !correct {
+		p.Mispredicts++
+	}
+	return correct
+}
+
+// MispredictRate returns overall front-end redirect rate.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Branches == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Branches)
+}
+
+// Reset clears predictor state and statistics.
+func (p *Predictor) Reset() {
+	p.TAGE.Reset()
+	p.BTB.Reset()
+	p.Branches, p.Mispredicts = 0, 0
+}

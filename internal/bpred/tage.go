@@ -1,0 +1,196 @@
+// Package bpred implements the branch prediction hardware of Table I: a
+// TAGE predictor with a 17-bit global history register, one bimodal base
+// predictor and four tagged tables (~32 KiB total), plus a 512-set 4-way
+// BTB for targets.
+package bpred
+
+// TAGE history lengths per tagged table (geometric-ish, capped by the
+// 17-bit GHR of Table I).
+var tageHistLens = [4]uint{3, 6, 11, 17}
+
+const (
+	ghrBits     = 17
+	bimodalBits = 13 // 8K bimodal entries of 2-bit counters = 2 KiB
+	taggedBits  = 11 // 2K entries per tagged table
+	tagBits     = 9
+)
+
+type tageEntry struct {
+	ctr    int8 // 3-bit signed saturating [-4,3]; >=0 predicts taken
+	tag    uint16
+	useful uint8 // 2-bit
+}
+
+// TAGE is a TAgged GEometric-history-length branch direction predictor.
+type TAGE struct {
+	bimodal []int8 // 2-bit counters [-2,1]; >=0 predicts taken
+	tables  [4][]tageEntry
+	ghr     uint32
+	useAlt  int8 // use-alt-on-newly-allocated counter
+	tick    uint32
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewTAGE creates the Table I predictor.
+func NewTAGE() *TAGE {
+	t := &TAGE{bimodal: make([]int8, 1<<bimodalBits)}
+	for i := range t.tables {
+		t.tables[i] = make([]tageEntry, 1<<taggedBits)
+	}
+	return t
+}
+
+func (t *TAGE) bimodalIdx(pc uint64) int {
+	return int((pc >> 2) & (1<<bimodalBits - 1))
+}
+
+func (t *TAGE) tableIdx(tbl int, pc uint64) int {
+	h := uint64(t.ghr) & (1<<tageHistLens[tbl] - 1)
+	x := (pc >> 2) ^ (pc >> (taggedBits + 2)) ^ h ^ (h >> (taggedBits / 2)) ^ uint64(tbl)*0x9E37
+	return int(x & (1<<taggedBits - 1))
+}
+
+func (t *TAGE) tableTag(tbl int, pc uint64) uint16 {
+	h := uint64(t.ghr) & (1<<tageHistLens[tbl] - 1)
+	x := (pc >> 2) ^ (pc >> 11) ^ (h << 1) ^ h>>3 ^ uint64(tbl)*0x51ED
+	return uint16(x & (1<<tagBits - 1))
+}
+
+// lookup returns the provider table (or -1 for bimodal), its index, and the
+// prediction with its alternate.
+func (t *TAGE) lookup(pc uint64) (provider int, pred, altPred bool) {
+	provider = -1
+	pred = t.bimodal[t.bimodalIdx(pc)] >= 0
+	altPred = pred
+	for tbl := 0; tbl < len(t.tables); tbl++ {
+		e := &t.tables[tbl][t.tableIdx(tbl, pc)]
+		if e.tag == t.tableTag(tbl, pc) {
+			altPred = pred
+			pred = e.ctr >= 0
+			provider = tbl
+		}
+	}
+	return provider, pred, altPred
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (t *TAGE) Predict(pc uint64) bool {
+	t.Lookups++
+	_, pred, _ := t.lookup(pc)
+	return pred
+}
+
+// Update trains the predictor with the resolved outcome and advances the
+// global history. Call exactly once per dynamic branch, after Predict.
+func (t *TAGE) Update(pc uint64, taken bool) {
+	provider, pred, altPred := t.lookup(pc)
+	if pred != taken {
+		t.Mispredicts++
+	}
+
+	// Update provider (or bimodal).
+	if provider >= 0 {
+		e := &t.tables[provider][t.tableIdx(provider, pc)]
+		e.ctr = satUpdate3(e.ctr, taken)
+		if pred != altPred {
+			if pred == taken && e.useful < 3 {
+				e.useful++
+			} else if pred != taken && e.useful > 0 {
+				e.useful--
+			}
+		}
+	} else {
+		i := t.bimodalIdx(pc)
+		t.bimodal[i] = satUpdate2(t.bimodal[i], taken)
+	}
+
+	// On a mispredict, try to allocate in a longer-history table.
+	if pred != taken && provider < len(t.tables)-1 {
+		allocated := false
+		for tbl := provider + 1; tbl < len(t.tables); tbl++ {
+			e := &t.tables[tbl][t.tableIdx(tbl, pc)]
+			if e.useful == 0 {
+				e.tag = t.tableTag(tbl, pc)
+				e.useful = 0
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Decay usefulness so future allocations can succeed.
+			for tbl := provider + 1; tbl < len(t.tables); tbl++ {
+				e := &t.tables[tbl][t.tableIdx(tbl, pc)]
+				if e.useful > 0 {
+					e.useful--
+				}
+			}
+		}
+	}
+
+	// Periodic graceful reset of useful counters.
+	t.tick++
+	if t.tick&(1<<18-1) == 0 {
+		for tbl := range t.tables {
+			for i := range t.tables[tbl] {
+				t.tables[tbl][i].useful >>= 1
+			}
+		}
+	}
+
+	// Advance global history.
+	t.ghr = (t.ghr << 1) & (1<<ghrBits - 1)
+	if taken {
+		t.ghr |= 1
+	}
+}
+
+// MispredictRate returns mispredicts/lookups.
+func (t *TAGE) MispredictRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Mispredicts) / float64(t.Lookups)
+}
+
+// Reset clears all predictor state and statistics.
+func (t *TAGE) Reset() {
+	for i := range t.bimodal {
+		t.bimodal[i] = 0
+	}
+	for tbl := range t.tables {
+		for i := range t.tables[tbl] {
+			t.tables[tbl][i] = tageEntry{}
+		}
+	}
+	t.ghr, t.useAlt, t.tick = 0, 0, 0
+	t.Lookups, t.Mispredicts = 0, 0
+}
+
+func satUpdate2(c int8, up bool) int8 {
+	if up {
+		if c < 1 {
+			c++
+		}
+	} else if c > -2 {
+		c--
+	}
+	return c
+}
+
+func satUpdate3(c int8, up bool) int8 {
+	if up {
+		if c < 3 {
+			c++
+		}
+	} else if c > -4 {
+		c--
+	}
+	return c
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"casino/internal/bpred"
+	"casino/internal/energy"
+	"casino/internal/frontend"
+	"casino/internal/isa"
+	"casino/internal/lsu"
+	"casino/internal/mem"
+	"casino/internal/pipeline"
+	"casino/internal/regfile"
+	"casino/internal/stats"
+	"casino/internal/trace"
+)
+
+// opEntry tracks one in-flight instruction from S-IQ dispatch to commit.
+type opEntry struct {
+	op         *isa.MicroOp
+	queue      int8 // index of the queue holding it; -1 once issued
+	issued     bool
+	fromSIQ    bool // issued speculatively from an S-IQ stage
+	done       int64
+	issueCycle int64
+
+	newP  regfile.PReg // freshly allocated physical register (or PRegNone)
+	oldP  regfile.PReg // previous mapping (released at commit)
+	dstP  regfile.PReg // register the destination maps to (shared if passed)
+	srcP1 regfile.PReg
+	srcP2 regfile.PReg
+	prod1 *opEntry // producer ops captured at S-IQ exit (conditional renaming)
+	prod2 *opEntry
+
+	hasDB    bool // holds a data buffer entry (IQ-issued, conditional renaming)
+	specLoad bool // load issued past an unresolved older store
+	sentinel bool // load placed a sentinel on a store
+	lineSent bool // load placed a TSO sentinel on its cache line
+
+	// preAlloc marks a window entry whose ROB/SQ slots were allocated and
+	// whose sources were group-renamed when a younger window entry issued
+	// past it (Fig. 4's group rename keeps the ROB and SQ in program
+	// order even though the younger instruction left first).
+	preAlloc bool
+}
+
+// Core is the CASINO core.
+type Core struct {
+	cfg  Config
+	now  int64
+	fe   *frontend.FrontEnd
+	hier *mem.Hierarchy
+	fus  *pipeline.FUPool
+	acct *energy.Accountant
+	rf   *regfile.File
+	sq   *lsu.StoreQueue
+	lq   *lsu.LoadQueue // conventional LQ (DisambigFullLQ only)
+	osca *lsu.OSCA
+	log  regfile.RecoveryLog
+
+	lineSent *lineSentinels  // TSO load-load ordering sentinels (§III-C4)
+	remote   *remoteInjector // synthetic coherence traffic (nil = off)
+	tracer   Tracer          // optional pipeline-event observer
+
+	// queues[0] is the first S-IQ, queues[1..MidSIQs] the intermediate
+	// S-IQs, queues[len-1] the final in-order IQ. Older instructions live
+	// in higher-indexed queues.
+	queues [][]*opEntry
+	qCap   []int
+
+	rob  []*opEntry
+	head int
+	n    int
+
+	lastWriter [isa.NumArchRegs]*opEntry
+	dbUsed     int
+	flushed    bool // a violation flush occurred this cycle; abort scheduling
+
+	committed uint64
+
+	hSIQ, hIQ, hRAT, hScbd, hPRF, hROB, hSQ, hOSCA, hDB, hFL, hLog, hLQ int
+
+	// Statistics.
+	IssuedSIQMem    uint64
+	IssuedSIQNonMem uint64
+	IssuedIQMem     uint64
+	IssuedIQNonMem  uint64
+	Violations      uint64
+	Flushes         uint64
+	LoadsForwarded  uint64
+	PassedToIQ      uint64
+	ProducerDist    *stats.Hist // IQ distance producer→passed consumer (§II-C)
+
+	// Head-of-S-IQ stall diagnostics (why the head could not exit).
+	StallIQFull    uint64 // pass blocked: next queue full
+	StallPReg      uint64 // issue blocked: no free physical register
+	StallProdCount uint64 // pass blocked: ProducerCount saturated
+	StallROBSQ     uint64 // exit blocked: ROB or SQ full
+	StallFU        uint64 // issue blocked: no functional unit / issue slot
+	StallDataBuf   uint64 // IQ issue blocked: data buffer full
+}
+
+// New builds a CASINO core over the trace. It panics on an invalid Config
+// (construction-time misuse, not a runtime condition).
+func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Core{
+		cfg:          cfg,
+		hier:         hier,
+		fus:          pipeline.ScaledFUPool(cfg.Width),
+		acct:         acct,
+		rf:           regfile.New(cfg.IntPRF, cfg.FPPRF, uint8(cfg.MaxProducers)),
+		sq:           lsu.NewStoreQueue(cfg.SQSize),
+		rob:          make([]*opEntry, cfg.ROBSize),
+		ProducerDist: stats.NewHist(16),
+	}
+	if cfg.OSCASize > 0 && cfg.Disambig == DisambigOSCA {
+		max := uint8(cfg.SQSize)
+		c.osca = lsu.NewOSCA(cfg.OSCASize, max)
+	}
+	if cfg.Disambig == DisambigFullLQ {
+		c.lq = lsu.NewLoadQueue(cfg.LQSize)
+	}
+	c.lineSent = newLineSentinels()
+	c.remote = newRemoteInjector(cfg.Remote)
+	nq := 2 + cfg.MidSIQs
+	c.queues = make([][]*opEntry, nq)
+	c.qCap = make([]int, nq)
+	c.qCap[0] = cfg.SIQSize
+	for i := 1; i <= cfg.MidSIQs; i++ {
+		c.qCap[i] = cfg.MidSIQSize
+	}
+	c.qCap[nq-1] = cfg.IQSize
+	acct.FrontendScale = 1.4 // 9-stage pipeline vs the 7-stage InO
+	c.fe = frontend.New(
+		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
+		tr.Reader(), bpred.NewPredictor(), hier, acct)
+
+	siqEntries := cfg.SIQSize + cfg.MidSIQs*cfg.MidSIQSize
+	c.hSIQ = acct.Register(energy.Structure{Name: "S-IQ", Entries: siqEntries, Bits: 64, Ports: 2 * cfg.Width})
+	c.hIQ = acct.Register(energy.Structure{Name: "IQ", Entries: cfg.IQSize, Bits: 72, Ports: 2 * cfg.Width})
+	c.hRAT = acct.Register(energy.Structure{Name: "RAT", Entries: isa.NumArchRegs, Bits: 8, Ports: 3 * cfg.Width})
+	c.hScbd = acct.Register(energy.Structure{Name: "PRFScbd", Entries: cfg.IntPRF + cfg.FPPRF, Bits: 12, Ports: 3 * cfg.Width})
+	c.hPRF = acct.Register(energy.Structure{Name: "PRF", Entries: cfg.IntPRF + cfg.FPPRF, Bits: 64, Ports: 3 * cfg.Width})
+	c.hROB = acct.Register(energy.Structure{Name: "ROB", Entries: cfg.ROBSize, Bits: 96, Ports: 2 * cfg.Width})
+	c.hSQ = acct.Register(energy.Structure{Name: "SQ", Entries: cfg.SQSize, Bits: 112, Ports: 2, CAM: true, TagBits: 40})
+	if c.osca != nil {
+		c.hOSCA = acct.Register(energy.Structure{Name: "OSCA", Entries: cfg.OSCASize, Bits: 4, Ports: 4})
+	} else {
+		c.hOSCA = -1
+	}
+	c.hDB = acct.Register(energy.Structure{Name: "DataBuf", Entries: cfg.DataBufSize, Bits: 64, Ports: 2 * cfg.Width})
+	c.hFL = acct.Register(energy.Structure{Name: "FreeList", Entries: cfg.IntPRF + cfg.FPPRF, Bits: 8, Ports: 2 * cfg.Width})
+	c.hLog = acct.Register(energy.Structure{Name: "RecoveryLog", Entries: 2 * cfg.Width * 4, Bits: 24, Ports: 2 * cfg.Width})
+	if c.lq != nil {
+		c.hLQ = acct.Register(energy.Structure{Name: "LQ", Entries: cfg.LQSize, Bits: 64, Ports: 2, CAM: true, TagBits: 40})
+	} else {
+		c.hLQ = -1
+	}
+	return c
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// Committed returns the number of committed micro-ops.
+func (c *Core) Committed() uint64 { return c.committed }
+
+// Mispredicts returns the front-end mispredict count.
+func (c *Core) Mispredicts() uint64 { return c.fe.Mispredicts }
+
+// RegAllocs returns physical-register allocation count (Fig. 7a).
+func (c *Core) RegAllocs() uint64 { return c.rf.Allocs }
+
+// OSCA returns the outstanding store counter array (nil if disabled).
+func (c *Core) OSCA() *lsu.OSCA { return c.osca }
+
+// StoreQueue exposes the unified SQ/SB (activity counters for Fig. 8).
+func (c *Core) StoreQueue() *lsu.StoreQueue { return c.sq }
+
+// Done reports whether the trace is exhausted and the pipeline drained.
+func (c *Core) Done() bool {
+	if !c.fe.Done() || c.n != 0 || c.sq.Len() != 0 {
+		return false
+	}
+	for _, q := range c.queues {
+		if len(q) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LineSentinels exposes TSO line-sentinel statistics (set/cleared/withheld).
+func (c *Core) LineSentinels() (set, cleared, withheld uint64) {
+	return c.lineSent.Set, c.lineSent.Cleared, c.lineSent.Withheld
+}
+
+// RemoteStats exposes the synthetic coherence injector's counters
+// (invalidations fired, acks withheld, total remote-store delay cycles).
+func (c *Core) RemoteStats() (invals, withheld, delayCycles uint64) {
+	if c.remote == nil {
+		return 0, 0, 0
+	}
+	return c.remote.Invalidations, c.remote.WithheldAcks, c.remote.DelayCycles
+}
+
+// Cycle advances the core by one clock.
+func (c *Core) Cycle() {
+	now := c.now
+	c.remote.tick(now, c.lineSent, c.n)
+	c.retireStores(now)
+	c.commit(now)
+	c.schedule(now)
+	c.dispatch()
+	c.fe.Cycle(now)
+	c.now++
+	c.acct.Cycles++
+}
+
+func (c *Core) robAt(i int) *opEntry { return c.rob[(c.head+i)%len(c.rob)] }
+
+func (c *Core) retireStores(now int64) {
+	if c.sq.HeadRetirable(now) {
+		e := c.sq.Head()
+		done := c.hier.Store(e.PC, e.Addr, now)
+		c.acct.L1Access++
+		c.sq.StartRetire(done)
+	}
+	if e, ok := c.sq.PopRetired(now); ok && c.osca != nil {
+		c.osca.Dec(e.Addr, e.Size)
+		c.acct.Inc(c.hOSCA, energy.Write, 1)
+	}
+}
+
+// commit retires up to Width completed instructions from the ROB head.
+func (c *Core) commit(now int64) {
+	for k := 0; k < c.cfg.Width && c.n > 0; k++ {
+		e := c.robAt(0)
+		if !e.issued || e.done > now {
+			return
+		}
+		op := e.op
+		c.acct.Inc(c.hROB, energy.Read, 1)
+		if op.Class == isa.Load {
+			if c.lq != nil {
+				c.lq.Release(op.Seq)
+				c.acct.Inc(c.hLQ, energy.Read, 1)
+			} else if e.specLoad {
+				// On-commit value-check (§III-C4): replay the SB search.
+				c.acct.Inc(c.hSQ, energy.Search, 1)
+				if c.sq.ValidateLoad(op.Seq, op.Addr, op.Size, e.issueCycle) {
+					c.flushFrom(op.Seq, now)
+					return
+				}
+			}
+		}
+		if e.sentinel {
+			c.sq.ClearSentinel(op.Seq)
+		}
+		if e.lineSent {
+			c.lineSent.clear(op.Addr, op.Seq)
+		}
+		if op.Class == isa.Store {
+			c.sq.Commit(op.Seq)
+			c.acct.Inc(c.hSQ, energy.Write, 1)
+		}
+		if e.newP != regfile.PRegNone {
+			c.rf.Release(e.oldP)
+			c.acct.Inc(c.hFL, energy.Write, 1)
+		}
+		if e.hasDB {
+			// Drain the data buffer value into the PRF.
+			c.dbUsed--
+			c.acct.Inc(c.hDB, energy.Read, 1)
+			c.acct.Inc(c.hPRF, energy.Write, 1)
+		}
+		c.log.Commit(op.Seq)
+		c.trace(op.Seq, EvCommit, now)
+		c.head = (c.head + 1) % len(c.rob)
+		c.n--
+		c.committed++
+	}
+}
+
+// flushFrom squashes the instruction with sequence victim and everything
+// younger, repairs the rename state from the recovery log, recovers
+// ProducerCounts and the OSCA, and refetches (§III-C5). The on-commit
+// value check always flushes from the ROB head (full flush); the FullLQ
+// baseline flushes mid-pipeline when a resolving store hits a younger
+// issued load.
+func (c *Core) flushFrom(victim uint64, now int64) {
+	c.Violations++
+	c.Flushes++
+	c.trace(victim, EvFlush, now)
+	// Undo speculative renames, youngest first.
+	c.acct.Inc(c.hLog, energy.Read, uint64(c.log.Len()))
+	c.log.Unwind(c.rf, victim)
+	// ProducerCount recovery: dequeue squashed unissued queue residents.
+	for qi := range c.queues {
+		q := c.queues[qi]
+		kept := q[:0]
+		for _, e := range q {
+			if e.op.Seq >= victim {
+				if !e.issued && e.newP == regfile.PRegNone && e.dstP != regfile.PRegNone {
+					c.rf.RemoveProducer(e.dstP)
+					c.acct.Inc(c.hScbd, energy.Write, 1)
+				}
+				continue
+			}
+			kept = append(kept, e)
+		}
+		c.queues[qi] = kept
+	}
+	// Pop squashed ROB entries from the tail.
+	for c.n > 0 {
+		e := c.robAt(c.n - 1)
+		if e.op.Seq < victim {
+			break
+		}
+		if e.hasDB {
+			c.dbUsed--
+		}
+		c.n--
+	}
+	// OSCA recovery: squashed resolved stores decrement their counters.
+	for _, se := range c.sq.SquashYoungerThan(victim) {
+		if se.Resolved && c.osca != nil {
+			c.osca.Dec(se.Addr, se.Size)
+			c.acct.Inc(c.hOSCA, energy.Write, 1)
+		}
+	}
+	c.sq.ClearAllSentinels()
+	c.lineSent.clearAll()
+	if c.lq != nil {
+		c.lq.SquashYoungerThan(victim)
+	}
+	// Squashed last-writers revert to the architectural mapping restored
+	// by the recovery log.
+	for i := range c.lastWriter {
+		if c.lastWriter[i] != nil && c.lastWriter[i].op.Seq >= victim {
+			c.lastWriter[i] = nil
+		}
+	}
+	c.fe.Squash(victim, now)
+}
+
+// dispatch moves decoded ops from the front end into the first S-IQ.
+func (c *Core) dispatch() {
+	q := &c.queues[0]
+	for k := 0; k < c.cfg.Width && len(*q) < c.qCap[0]; k++ {
+		op := c.fe.Pop()
+		if op == nil {
+			return
+		}
+		*q = append(*q, &opEntry{
+			op: op, queue: 0,
+			newP: regfile.PRegNone, oldP: regfile.PRegNone,
+			dstP: regfile.PRegNone, srcP1: regfile.PRegNone, srcP2: regfile.PRegNone,
+		})
+		c.acct.Inc(c.hSIQ, energy.Write, 1)
+		c.trace(op.Seq, EvDispatch, c.now)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"casino/internal/energy"
+	"casino/internal/mem"
+	"casino/internal/regfile"
+	"casino/internal/workload"
+)
+
+// commitChecker asserts the fundamental architectural invariant through
+// the tracer: instructions commit exactly once each, in program order,
+// regardless of how speculatively they issued or how many flushes occur.
+type commitChecker struct {
+	t    *testing.T
+	next uint64
+}
+
+func (cc *commitChecker) Event(seq uint64, ev PipeEvent, cycle int64) {
+	if ev != EvCommit {
+		return
+	}
+	if seq != cc.next {
+		cc.t.Fatalf("commit order violated: got seq %d, want %d (cycle %d)", seq, cc.next, cycle)
+	}
+	cc.next++
+}
+
+func TestCommitOrderInvariant(t *testing.T) {
+	// h264ref produces violations and flushes; milc produces heavy
+	// speculative reordering — both must still commit 0,1,2,... exactly.
+	for _, wl := range []string{"h264ref", "milc"} {
+		for _, mode := range []DisambigMode{DisambigOSCA, DisambigNoLQ, DisambigFullLQ, DisambigAGIOrder} {
+			cfg := DefaultConfig()
+			cfg.Disambig = mode
+			if mode != DisambigOSCA {
+				cfg.OSCASize = 0
+			}
+			p, _ := workload.ByName(wl)
+			tr := workload.Generate(p, 15000, 1)
+			c := New(cfg, tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+			cc := &commitChecker{t: t}
+			c.SetTracer(cc)
+			for i := 0; i < 100_000_000 && !c.Done(); i++ {
+				c.Cycle()
+			}
+			if !c.Done() {
+				t.Fatalf("%s/%v livelocked", wl, mode)
+			}
+			if cc.next != uint64(tr.Len()) {
+				t.Errorf("%s/%v: committed %d of %d", wl, mode, cc.next, tr.Len())
+			}
+		}
+	}
+}
+
+// issueBeforeCommitChecker verifies per-instruction event ordering:
+// dispatch <= issue <= complete <= commit on the cycle axis.
+type orderChecker struct {
+	t        *testing.T
+	dispatch map[uint64]int64
+	issue    map[uint64]int64
+	complete map[uint64]int64
+}
+
+func (oc *orderChecker) Event(seq uint64, ev PipeEvent, cycle int64) {
+	switch ev {
+	case EvDispatch:
+		oc.dispatch[seq] = cycle
+	case EvIssueSIQ, EvIssueIQ:
+		if d, ok := oc.dispatch[seq]; ok && cycle < d {
+			oc.t.Fatalf("op %d issued at %d before dispatch at %d", seq, cycle, d)
+		}
+		oc.issue[seq] = cycle
+	case EvComplete:
+		if is, ok := oc.issue[seq]; ok && cycle < is {
+			oc.t.Fatalf("op %d completed at %d before issue at %d", seq, cycle, is)
+		}
+		oc.complete[seq] = cycle
+	case EvCommit:
+		if done, ok := oc.complete[seq]; ok && cycle < done {
+			oc.t.Fatalf("op %d committed at %d before completion at %d", seq, cycle, done)
+		}
+	}
+}
+
+func TestPipelineStageOrderInvariant(t *testing.T) {
+	p, _ := workload.ByName("cactusADM")
+	tr := workload.Generate(p, 15000, 1)
+	c := New(DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	oc := &orderChecker{
+		t:        t,
+		dispatch: map[uint64]int64{},
+		issue:    map[uint64]int64{},
+		complete: map[uint64]int64{},
+	}
+	c.SetTracer(oc)
+	for i := 0; i < 100_000_000 && !c.Done(); i++ {
+		c.Cycle()
+	}
+	if !c.Done() {
+		t.Fatal("livelock")
+	}
+}
+
+// Physical-register conservation: after a full drain, every allocated
+// register must have been released back (free counts return to initial).
+func TestPRFConservationInvariant(t *testing.T) {
+	for _, wl := range []string{"gcc", "h264ref"} {
+		p, _ := workload.ByName(wl)
+		tr := workload.Generate(p, 15000, 1)
+		c := New(DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+		freeInt0 := c.rf.FreeCount(false)
+		freeFP0 := c.rf.FreeCount(true)
+		for i := 0; i < 100_000_000 && !c.Done(); i++ {
+			c.Cycle()
+		}
+		if !c.Done() {
+			t.Fatal("livelock")
+		}
+		if c.rf.FreeCount(false) != freeInt0 || c.rf.FreeCount(true) != freeFP0 {
+			t.Errorf("%s: register leak: INT %d->%d, FP %d->%d", wl,
+				freeInt0, c.rf.FreeCount(false), freeFP0, c.rf.FreeCount(true))
+		}
+	}
+}
+
+// ProducerCount conservation: all counts return to zero after drain.
+func TestProducerCountConservationInvariant(t *testing.T) {
+	p, _ := workload.ByName("h264ref")
+	tr := workload.Generate(p, 15000, 1)
+	c := New(DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	for i := 0; i < 100_000_000 && !c.Done(); i++ {
+		c.Cycle()
+	}
+	if !c.Done() {
+		t.Fatal("livelock")
+	}
+	for pr := 0; pr < c.rf.NumPhys(); pr++ {
+		if n := c.rf.Producers(regfile.PReg(pr)); n != 0 {
+			t.Errorf("physical register %d still has %d pending producers after drain", pr, n)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"casino/internal/energy"
+	"casino/internal/isa"
+	"casino/internal/regfile"
+)
+
+// schedule performs one cycle of issue across the cascaded queues. Up to
+// Width instructions issue in total. By default the final in-order IQ has
+// priority (oldest-first, §III-C3); intermediate S-IQs follow, oldest stage
+// first; the first S-IQ processes its SpecInO window last.
+func (c *Core) schedule(now int64) {
+	slots := c.cfg.Width
+	last := len(c.queues) - 1
+	if c.cfg.SIQPriority {
+		for qi := 0; qi < last && !c.flushed; qi++ {
+			c.processSIQ(qi, now, &slots)
+		}
+		if !c.flushed {
+			c.processFinalIQ(now, &slots)
+		}
+		c.flushed = false
+		return
+	}
+	c.processFinalIQ(now, &slots)
+	for qi := last - 1; qi >= 0 && !c.flushed; qi-- {
+		c.processSIQ(qi, now, &slots)
+	}
+	c.flushed = false
+}
+
+// processFinalIQ issues strictly in order from the head of the last queue.
+func (c *Core) processFinalIQ(now int64, slots *int) {
+	last := len(c.queues) - 1
+	for *slots > 0 && len(c.queues[last]) > 0 {
+		e := c.queues[last][0]
+		if !c.iqReady(e, now) {
+			return
+		}
+		if !c.issueResourcesOK(e, now, false) {
+			return
+		}
+		if !c.fus.Issue(e.op.Class, now) {
+			return
+		}
+		c.queues[last] = c.queues[last][1:]
+		c.acct.Inc(c.hIQ, energy.Read, 1)
+		c.issueOp(e, now, false)
+		*slots--
+		if c.flushed {
+			return
+		}
+	}
+}
+
+// processSIQ runs the SpecInO[WS,SO] window at the head of queue qi. Ready
+// instructions anywhere in the window issue immediately (consuming issue
+// slots); a non-ready *head* instruction passes to the next queue (up to
+// SO per cycle). A ready instruction may issue past a stuck older window
+// entry: the stuck entry's ROB/SQ slots are pre-allocated and its sources
+// group-renamed first, so the ROB and SQ remain program-ordered (Fig. 4).
+func (c *Core) processSIQ(qi int, now int64, slots *int) {
+	passes := 0
+	pos := 0
+	for examined := 0; examined < c.cfg.WS && pos < len(c.queues[qi]); examined++ {
+		q := c.queues[qi]
+		e := q[pos]
+		ready := c.siqReady(qi, e, now)
+		switch {
+		case ready && *slots > 0 && c.exitResourcesOK(qi, e, pos) &&
+			c.issueResourcesOK(e, now, true) && c.fus.CanIssue(e.op.Class, now):
+			if qi == 0 {
+				c.preAllocOlder(q[:pos])
+				c.exitRename(e, true)
+			}
+			c.removeAt(qi, pos)
+			c.acct.Inc(c.hSIQ, energy.Read, 1)
+			c.fus.Issue(e.op.Class, now)
+			c.issueOp(e, now, true)
+			*slots--
+			if c.flushed {
+				return
+			}
+			// Do not advance pos: the next entry slid into this slot.
+		case !ready && pos == 0 && passes < c.cfg.SO &&
+			len(c.queues[qi+1]) < c.qCap[qi+1] && c.exitResourcesOK(qi, e, pos) && c.passResourcesOK(qi, e):
+			if qi == 0 {
+				c.exitRename(e, false)
+			}
+			c.removeAt(qi, 0)
+			c.acct.Inc(c.hSIQ, energy.Read, 1)
+			e.queue = int8(qi + 1)
+			c.queues[qi+1] = append(c.queues[qi+1], e)
+			if qi+1 == len(c.queues)-1 {
+				c.acct.Inc(c.hIQ, energy.Write, 1)
+				c.PassedToIQ++
+				c.recordProducerDistance(e)
+			} else {
+				c.acct.Inc(c.hSIQ, energy.Write, 1)
+			}
+			c.trace(e.op.Seq, EvPass, now)
+			passes++
+		default:
+			if pos == 0 && qi == 0 {
+				c.diagnoseHeadStall(e, ready, now)
+			}
+			// Entry stays in the window; examine the next one.
+			pos++
+		}
+	}
+}
+
+// diagnoseHeadStall classifies why the S-IQ head could not exit (stats
+// only; no architectural effect).
+func (c *Core) diagnoseHeadStall(e *opEntry, ready bool, now int64) {
+	if !c.exitResourcesOK(0, e, 0) {
+		c.StallROBSQ++
+		return
+	}
+	if ready {
+		switch {
+		case e.op.HasDst() && e.queue == 0 && !e.preAlloc && !c.rf.CanAllocate(e.op.Dst):
+			c.StallPReg++
+		case e.op.Class == isa.Store && c.osca != nil && !c.osca.CanInc(e.op.Addr, e.op.Size):
+			c.StallPReg++
+		default:
+			c.StallFU++
+		}
+		return
+	}
+	if len(c.queues[1]) >= c.qCap[1] {
+		c.StallIQFull++
+		return
+	}
+	if !c.passResourcesOK(0, e) {
+		c.StallProdCount++
+	}
+}
+
+// removeAt deletes the entry at index i of queue qi, preserving order.
+func (c *Core) removeAt(qi, i int) {
+	q := c.queues[qi]
+	if i == 0 {
+		c.queues[qi] = q[1:]
+		return
+	}
+	c.queues[qi] = append(q[:i], q[i+1:]...)
+}
+
+// preAllocOlder reserves program-ordered ROB (and SQ) slots for stuck
+// older window entries before a younger one issues past them, and captures
+// their source mappings as of this point (group rename).
+func (c *Core) preAllocOlder(older []*opEntry) {
+	for _, e := range older {
+		if e.preAlloc {
+			continue
+		}
+		c.captureSources(e)
+		c.dispatchMemEntry(e)
+		c.rob[(c.head+c.n)%len(c.rob)] = e
+		c.n++
+		c.acct.Inc(c.hROB, energy.Write, 1)
+		e.preAlloc = true
+	}
+}
+
+// siqReady is the conservative scoreboard readiness check performed on an
+// S-IQ window entry (live RAT lookup; a register with pending shared
+// producers is not ready). Entries whose sources were group-renamed when a
+// younger instruction bypassed them use their captured mappings. Memory
+// operations are never "ready" under AGI ordering.
+func (c *Core) siqReady(qi int, e *opEntry, now int64) bool {
+	if c.cfg.Disambig == DisambigAGIOrder && e.op.Class.IsMem() {
+		return false
+	}
+	if qi == 0 && !e.preAlloc {
+		for _, s := range [...]isa.Reg{e.op.Src1, e.op.Src2} {
+			if !s.Valid() {
+				continue
+			}
+			c.acct.Inc(c.hRAT, energy.Read, 1)
+			c.acct.Inc(c.hScbd, energy.Read, 1)
+			if c.cfg.Renaming == RenameConditional {
+				// The data buffer forwards each producer's value to its
+				// consumers (§III-C3), so readiness is the completion of
+				// the *specific* producing instruction. A younger last
+				// writer (window bypass) hides the true producer: fall
+				// back to the conservative scoreboard condition.
+				lw := c.lastWriter[s]
+				switch {
+				case lw == nil:
+					// Producer committed; value architectural.
+				case lw.op.Seq < e.op.Seq:
+					if !lw.issued || lw.done > now {
+						return false
+					}
+				default:
+					p := c.rf.Lookup(s)
+					if c.rf.Producers(p) > 0 || !c.rf.IsReady(p, now) {
+						return false
+					}
+				}
+				continue
+			}
+			if !c.rf.IsReady(c.rf.Lookup(s), now) {
+				return false
+			}
+		}
+		return true
+	}
+	if c.cfg.Renaming == RenameConditional {
+		// Captured producers (group rename or the final-IQ data path).
+		for _, p := range [...]*opEntry{e.prod1, e.prod2} {
+			if p == nil {
+				continue
+			}
+			if !p.issued || p.done > now {
+				return false
+			}
+		}
+		return true
+	}
+	// Conventional renaming: already renamed, check own source registers.
+	for _, p := range [...]regfile.PReg{e.srcP1, e.srcP2} {
+		if p == regfile.PRegNone {
+			continue
+		}
+		c.acct.Inc(c.hScbd, energy.Read, 1)
+		if !c.rf.IsReady(p, now) {
+			return false
+		}
+	}
+	return true
+}
+
+// iqReady checks the final IQ head. Under conditional renaming the data
+// buffer forwards the specific producer's value, so readiness is exact
+// producer completion; under conventional renaming each op owns a register.
+func (c *Core) iqReady(e *opEntry, now int64) bool {
+	if c.cfg.Renaming == RenameConditional {
+		for _, p := range [...]*opEntry{e.prod1, e.prod2} {
+			if p == nil {
+				continue
+			}
+			if !p.issued || p.done > now {
+				return false
+			}
+		}
+		return true
+	}
+	for _, p := range [...]regfile.PReg{e.srcP1, e.srcP2} {
+		if p == regfile.PRegNone {
+			continue
+		}
+		c.acct.Inc(c.hScbd, energy.Read, 1)
+		if !c.rf.IsReady(p, now) {
+			return false
+		}
+	}
+	return true
+}
+
+// exitResourcesOK checks the resources an S-IQ0 exit at window position
+// pos needs: ROB entries (and SQ entries for stores) for itself plus any
+// stuck older window entries that must be pre-allocated first.
+func (c *Core) exitResourcesOK(qi int, e *opEntry, pos int) bool {
+	if qi != 0 {
+		return true
+	}
+	robNeed, sqNeed, lqNeed := 0, 0, 0
+	if !e.preAlloc {
+		robNeed++
+		switch e.op.Class {
+		case isa.Store:
+			sqNeed++
+		case isa.Load:
+			lqNeed++
+		}
+		for _, o := range c.queues[0][:pos] {
+			if !o.preAlloc {
+				robNeed++
+				switch o.op.Class {
+				case isa.Store:
+					sqNeed++
+				case isa.Load:
+					lqNeed++
+				}
+			}
+		}
+	}
+	if c.n+robNeed > len(c.rob) {
+		return false
+	}
+	if sqNeed > 0 && c.sq.Len()+sqNeed > c.sq.Cap() {
+		return false
+	}
+	if c.lq != nil && lqNeed > 0 && c.lq.Len()+lqNeed > c.lq.Cap() {
+		return false
+	}
+	return true
+}
+
+// passResourcesOK checks the rename resources of the pass path.
+func (c *Core) passResourcesOK(qi int, e *opEntry) bool {
+	if qi != 0 || !e.op.HasDst() {
+		return true
+	}
+	if c.cfg.Renaming == RenameConventional {
+		return c.rf.CanAllocate(e.op.Dst)
+	}
+	// Conditional renaming: the passed instruction shares the current
+	// mapping; the 2-bit ProducerCount must not saturate.
+	return c.rf.CanAddProducer(c.rf.Lookup(e.op.Dst))
+}
+
+// issueResourcesOK checks the resources the issue path needs beyond an FU:
+// a free register (speculative issue or conventional renaming), a data
+// buffer entry (IQ issue under conditional renaming), and OSCA headroom
+// for stores.
+func (c *Core) issueResourcesOK(e *opEntry, now int64, fromSIQ bool) bool {
+	if e.op.HasDst() {
+		// An issue from the first S-IQ allocates a fresh register;
+		// intermediate-queue issues were renamed at the first S-IQ.
+		if fromSIQ && e.queue == 0 && !c.rf.CanAllocate(e.op.Dst) {
+			return false
+		}
+		if !fromSIQ && c.cfg.Renaming == RenameConditional && c.dbUsed >= c.cfg.DataBufSize {
+			return false
+		}
+	}
+	if e.op.Class == isa.Store && c.osca != nil {
+		if !c.osca.CanInc(e.op.Addr, e.op.Size) {
+			return false
+		}
+	}
+	return true
+}
+
+// exitRename performs the rename work at the S-IQ0 exit: source mappings
+// are captured; the destination either receives a fresh register (issue,
+// or every op under conventional renaming) or shares the current mapping
+// with an incremented ProducerCount (pass under conditional renaming).
+func (c *Core) exitRename(e *opEntry, issuing bool) {
+	op := e.op
+	if !e.preAlloc {
+		c.captureSources(e)
+	}
+	if op.HasDst() {
+		if issuing || c.cfg.Renaming == RenameConventional {
+			newP, oldP, ok := c.rf.Allocate(op.Dst)
+			if !ok {
+				panic("core: allocate failed after resource check")
+			}
+			e.newP, e.oldP, e.dstP = newP, oldP, newP
+			c.acct.Inc(c.hRAT, energy.Write, 1)
+			c.acct.Inc(c.hFL, energy.Read, 1)
+			c.log.Push(regfile.RecoveryEntry{Seq: op.Seq, Arch: op.Dst, Old: oldP, New: newP})
+			c.acct.Inc(c.hLog, energy.Write, 1)
+		} else {
+			e.dstP = c.rf.Lookup(op.Dst)
+			c.rf.AddProducer(e.dstP)
+			c.acct.Inc(c.hScbd, energy.Write, 1)
+		}
+		c.lastWriter[op.Dst] = e
+	}
+	if e.preAlloc {
+		return // ROB and SQ/LQ slots were reserved by the group rename
+	}
+	c.dispatchMemEntry(e)
+	c.rob[(c.head+c.n)%len(c.rob)] = e
+	c.n++
+	c.acct.Inc(c.hROB, energy.Write, 1)
+}
+
+// dispatchMemEntry allocates the LSU tracking entry for a memory op
+// leaving the first S-IQ.
+func (c *Core) dispatchMemEntry(e *opEntry) {
+	switch e.op.Class {
+	case isa.Store:
+		c.sq.Dispatch(e.op.Seq, e.op.PC)
+		c.acct.Inc(c.hSQ, energy.Write, 1)
+	case isa.Load:
+		if c.lq != nil {
+			c.lq.Dispatch(e.op.Seq, e.op.PC)
+			c.acct.Inc(c.hLQ, energy.Write, 1)
+		}
+	}
+}
+
+// captureSources records the source mappings (and, under conditional
+// renaming, the producing in-flight ops) as of this rename point.
+func (c *Core) captureSources(e *opEntry) {
+	op := e.op
+	e.srcP1 = c.rf.Lookup(op.Src1)
+	e.srcP2 = c.rf.Lookup(op.Src2)
+	if c.cfg.Renaming == RenameConditional {
+		if op.Src1.Valid() {
+			e.prod1 = c.lastWriter[op.Src1]
+		}
+		if op.Src2.Valid() {
+			e.prod2 = c.lastWriter[op.Src2]
+		}
+	}
+}
+
+// recordProducerDistance logs the §II-C distance metric: how many IQ
+// entries separate a passed instruction from its in-IQ producer.
+func (c *Core) recordProducerDistance(e *opEntry) {
+	last := len(c.queues) - 1
+	for _, p := range [...]*opEntry{e.prod1, e.prod2} {
+		if p == nil || p.issued || int(p.queue) != last {
+			continue
+		}
+		for i := len(c.queues[last]) - 1; i >= 0; i-- {
+			if c.queues[last][i] == p {
+				c.ProducerDist.Add(len(c.queues[last]) - 1 - i)
+				return
+			}
+		}
+	}
+}
+
+// issueOp executes the instruction and records completion bookkeeping.
+func (c *Core) issueOp(e *opEntry, now int64, fromSIQ bool) {
+	op := e.op
+	e.issued = true
+	e.issueCycle = now
+	e.queue = -1
+	c.countFU(op.Class)
+	c.acct.Inc(c.hPRF, energy.Read, 2)
+
+	switch op.Class {
+	case isa.Load:
+		e.done = c.issueLoad(e, now, fromSIQ)
+	case isa.Store:
+		e.done = c.issueStore(e, now)
+	case isa.Branch:
+		e.done = now + int64(op.Class.ExecLatency())
+		c.fe.BranchResolved(op.Seq, e.done)
+	default:
+		e.done = now + int64(op.Class.ExecLatency())
+	}
+
+	if e.newP != regfile.PRegNone {
+		c.rf.SetReadyAt(e.newP, e.done)
+	} else if op.HasDst() {
+		// IQ issue under conditional renaming: shared register, result
+		// goes to the data buffer until commit.
+		c.rf.RemoveProducer(e.dstP)
+		if e.done > c.rf.ReadyAt(e.dstP) {
+			c.rf.SetReadyAt(e.dstP, e.done)
+		}
+		c.dbUsed++
+		e.hasDB = true
+		c.acct.Inc(c.hDB, energy.Write, 1)
+	}
+
+	if fromSIQ {
+		if op.Class.IsMem() {
+			c.IssuedSIQMem++
+		} else {
+			c.IssuedSIQNonMem++
+		}
+		c.trace(op.Seq, EvIssueSIQ, now)
+	} else {
+		if op.Class.IsMem() {
+			c.IssuedIQMem++
+		} else {
+			c.IssuedIQNonMem++
+		}
+		c.trace(op.Seq, EvIssueIQ, now)
+	}
+	c.trace(op.Seq, EvComplete, e.done)
+}
+
+func (c *Core) countFU(class isa.Class) {
+	switch class.FU() {
+	case isa.FUFP:
+		c.acct.FPOps++
+	case isa.FUAGU:
+		c.acct.AGUOps++
+	default:
+		c.acct.IntOps++
+	}
+}

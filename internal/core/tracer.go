@@ -1,0 +1,41 @@
+package core
+
+// PipeEvent identifies a pipeline milestone of one instruction, for
+// external observation (cmd/casino-pipeview renders them as a text
+// pipeline diagram).
+type PipeEvent uint8
+
+// Pipeline events.
+const (
+	EvDispatch PipeEvent = iota // entered the first S-IQ
+	EvPass                      // passed to the next queue
+	EvIssueSIQ                  // issued speculatively from an S-IQ
+	EvIssueIQ                   // issued in order from the final IQ
+	EvComplete                  // result available (reported at issue time)
+	EvCommit                    // retired from the ROB
+	EvFlush                     // squashed by a memory-order violation
+)
+
+var pipeEventNames = [...]string{"dispatch", "pass", "issueS", "issueIQ", "complete", "commit", "flush"}
+
+func (e PipeEvent) String() string {
+	if int(e) < len(pipeEventNames) {
+		return pipeEventNames[e]
+	}
+	return "?"
+}
+
+// Tracer observes per-instruction pipeline events. Implementations must
+// be fast; the core invokes them inline.
+type Tracer interface {
+	Event(seq uint64, ev PipeEvent, cycle int64)
+}
+
+// SetTracer installs (or removes, with nil) a pipeline tracer.
+func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+
+func (c *Core) trace(seq uint64, ev PipeEvent, cycle int64) {
+	if c.tracer != nil {
+		c.tracer.Event(seq, ev, cycle)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import "casino/internal/mem"
+
+// §III-C4 (last paragraph): under TSO, load→load ordering must be
+// preserved. CASINO enforces it without LQ searches: a load issued
+// speculatively ahead of older non-performed loads places a sentinel on
+// its cache line; the line withholds the acknowledgement of an
+// invalidation from a remote store until the load commits and removes the
+// sentinel — delaying the *remote* store's retirement instead of
+// searching a local LQ.
+//
+// The paper evaluates a single core, so this mechanism is exercised here
+// with a synthetic remote-invalidation injector (a stand-in for a second
+// core's stores arriving through the coherence protocol): deterministic
+// pseudo-random invalidations target recently loaded lines, and the model
+// measures how many acknowledgements are withheld and for how long.
+
+// lineSentinels tracks, per cache line, the youngest speculatively issued
+// load guarding it (the paper's per-line sentinel bit plus ROB ID).
+type lineSentinels struct {
+	lines map[uint64]uint64 // line address -> youngest guarding load seq
+
+	Set      uint64
+	Cleared  uint64
+	Withheld uint64 // invalidation acks delayed by a sentinel
+}
+
+func newLineSentinels() *lineSentinels {
+	return &lineSentinels{lines: make(map[uint64]uint64)}
+}
+
+// set places (or refreshes) the sentinel for the load's line.
+func (ls *lineSentinels) set(addr uint64, loadSeq uint64) {
+	line := mem.LineAddr(addr)
+	if cur, ok := ls.lines[line]; !ok || loadSeq > cur {
+		ls.lines[line] = loadSeq
+	}
+	ls.Set++
+}
+
+// clear removes the sentinel if loadSeq is its current owner.
+func (ls *lineSentinels) clear(addr uint64, loadSeq uint64) {
+	line := mem.LineAddr(addr)
+	if cur, ok := ls.lines[line]; ok && cur == loadSeq {
+		delete(ls.lines, line)
+		ls.Cleared++
+	}
+}
+
+// clearAll drops every line sentinel (flush recovery).
+func (ls *lineSentinels) clearAll() {
+	for l := range ls.lines {
+		delete(ls.lines, l)
+	}
+}
+
+// guarded reports whether the line holding addr carries a sentinel.
+func (ls *lineSentinels) guarded(addr uint64) bool {
+	_, ok := ls.lines[mem.LineAddr(addr)]
+	return ok
+}
+
+// RemoteTraffic configures the synthetic coherence-traffic injector.
+// Period is the number of cycles between remote invalidations (0 disables
+// the injector — the paper's single-core evaluation). Invalidations
+// target recently loaded lines, the case the sentinel mechanism exists
+// for.
+type RemoteTraffic struct {
+	Period int
+}
+
+// remoteInjector generates deterministic remote invalidations.
+type remoteInjector struct {
+	period   int64
+	next     int64
+	rngState uint64
+	recent   []uint64 // ring of recently loaded line addresses
+	pos      int
+
+	Invalidations uint64
+	WithheldAcks  uint64
+	DelayCycles   uint64 // total cycles remote stores were delayed
+}
+
+func newRemoteInjector(cfg RemoteTraffic) *remoteInjector {
+	if cfg.Period <= 0 {
+		return nil
+	}
+	return &remoteInjector{
+		period:   int64(cfg.Period),
+		next:     int64(cfg.Period),
+		rngState: 0x9E3779B97F4A7C15,
+		recent:   make([]uint64, 64),
+	}
+}
+
+func (r *remoteInjector) observeLoad(addr uint64) {
+	if r == nil {
+		return
+	}
+	r.recent[r.pos] = mem.LineAddr(addr)
+	r.pos = (r.pos + 1) % len(r.recent)
+}
+
+func (r *remoteInjector) rand() uint64 {
+	r.rngState ^= r.rngState << 13
+	r.rngState ^= r.rngState >> 7
+	r.rngState ^= r.rngState << 17
+	return r.rngState
+}
+
+// tick fires due invalidations against the line-sentinel table. A guarded
+// line withholds its acknowledgement; the model charges the delay until
+// the guarding load's expected commit (approximated by the ROB drain
+// time) to the remote store.
+func (r *remoteInjector) tick(now int64, ls *lineSentinels, robOccupancy int) {
+	if r == nil || now < r.next {
+		return
+	}
+	r.next = now + r.period
+	line := r.recent[r.rand()%uint64(len(r.recent))]
+	if line == 0 {
+		return
+	}
+	r.Invalidations++
+	if _, ok := ls.lines[line]; ok {
+		ls.Withheld++
+		r.WithheldAcks++
+		// The ack waits for the guarding load to commit: bounded by the
+		// time to drain the instructions ahead of it in the ROB.
+		r.DelayCycles += uint64(robOccupancy)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"casino/internal/energy"
+	"casino/internal/isa"
+	"casino/internal/mem"
+	"casino/internal/workload"
+)
+
+func TestLineSentinelSetClear(t *testing.T) {
+	ls := newLineSentinels()
+	ls.set(0x1000, 10)
+	if !ls.guarded(0x1008) { // same 64-byte line
+		t.Error("same-line address not guarded")
+	}
+	if ls.guarded(0x2000) {
+		t.Error("unrelated line guarded")
+	}
+	// A younger load refreshes the sentinel; clearing by the older owner
+	// must then be a no-op.
+	ls.set(0x1000, 20)
+	ls.clear(0x1000, 10)
+	if !ls.guarded(0x1000) {
+		t.Error("older owner cleared a younger sentinel")
+	}
+	ls.clear(0x1000, 20)
+	if ls.guarded(0x1000) {
+		t.Error("sentinel not cleared by its owner")
+	}
+	ls.set(0x3000, 5)
+	ls.clearAll()
+	if ls.guarded(0x3000) {
+		t.Error("clearAll left a sentinel")
+	}
+}
+
+func TestLoadLoadSpeculationSetsSentinels(t *testing.T) {
+	// A slow older load followed by a fast independent younger load: the
+	// younger one performs first and must guard its line.
+	ops := []isa.MicroOp{
+		{Class: isa.Load, Dst: isa.IntReg(1), Src1: isa.RegNone, Src2: isa.RegNone, Addr: 1 << 30, Size: 8}, // misses
+		{Class: isa.Load, Dst: isa.IntReg(2), Src1: isa.RegNone, Src2: isa.RegNone, Addr: 0x100, Size: 8},   // fast
+		alu(isa.IntReg(3), isa.IntReg(2)),
+	}
+	c := mkCore(DefaultConfig(), ops)
+	run(t, c)
+	set, cleared, _ := c.LineSentinels()
+	if set == 0 {
+		t.Fatal("no TSO line sentinel set for a load-load reordering")
+	}
+	if cleared == 0 {
+		t.Error("sentinel never cleared at commit")
+	}
+}
+
+func TestInOrderLoadsSetNoSentinels(t *testing.T) {
+	// Loads that perform in order need no line sentinels.
+	ops := []isa.MicroOp{
+		{Class: isa.Load, Dst: isa.IntReg(1), Src1: isa.RegNone, Src2: isa.RegNone, Addr: 0x100, Size: 8},
+		alu(isa.IntReg(2), isa.IntReg(1)),
+		alu(isa.IntReg(3), isa.IntReg(2)),
+		alu(isa.IntReg(4), isa.IntReg(3)),
+		{Class: isa.Load, Dst: isa.IntReg(5), Src1: isa.IntReg(4), Src2: isa.RegNone, Addr: 0x200, Size: 8},
+	}
+	c := mkCore(DefaultConfig(), ops)
+	run(t, c)
+	if set, _, _ := c.LineSentinels(); set != 0 {
+		t.Errorf("in-order loads set %d sentinels", set)
+	}
+}
+
+func TestRemoteInjectorWithholdsAcks(t *testing.T) {
+	p, _ := workload.ByName("milc") // plenty of overlapped loads
+	tr := workload.Generate(p, 30000, 1)
+	cfg := DefaultConfig()
+	cfg.Remote = RemoteTraffic{Period: 50}
+	c := New(cfg, tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	for i := 0; i < 100_000_000 && !c.Done(); i++ {
+		c.Cycle()
+	}
+	if !c.Done() {
+		t.Fatal("livelock with remote traffic")
+	}
+	invals, withheld, delay := c.RemoteStats()
+	if invals == 0 {
+		t.Fatal("injector never fired")
+	}
+	if withheld == 0 {
+		t.Error("no invalidation was ever withheld — sentinels ineffective")
+	}
+	if withheld > 0 && delay == 0 {
+		t.Error("withheld acks recorded no delay")
+	}
+	if withheld > invals {
+		t.Error("withheld more acks than invalidations")
+	}
+}
+
+func TestRemoteInjectorDisabledByDefault(t *testing.T) {
+	c := mkCore(DefaultConfig(), []isa.MicroOp{alu(isa.IntReg(1), isa.RegNone)})
+	run(t, c)
+	if invals, _, _ := c.RemoteStats(); invals != 0 {
+		t.Error("remote injector active without configuration")
+	}
+}

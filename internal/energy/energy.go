@@ -1,0 +1,278 @@
+// Package energy provides the McPAT/CACTI stand-in: an event-based energy
+// and area model at a 22nm-flavoured technology point. Cores register the
+// SRAM/CAM structures they are built from, count Read/Write/Search events
+// during simulation, and the model turns counts into dynamic energy,
+// leakage (via area) into static energy.
+//
+// Following the paper, totals cover core components plus the L1 caches and
+// exclude the L2, DRAM and interconnect. Constants are calibrated for
+// *relative* comparisons between core models — the quantity the paper's
+// Figures 8, 9 and 11 report — not for absolute watts.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EventKind classifies an access to a structure.
+type EventKind uint8
+
+// Access kinds.
+const (
+	Read EventKind = iota
+	Write
+	Search // associative (CAM) match across all entries
+	numKinds
+)
+
+// Structure describes one SRAM/CAM block of a core.
+type Structure struct {
+	Name    string
+	Entries int
+	Bits    int  // payload bits per entry
+	Ports   int  // total read+write ports
+	CAM     bool // carries match lines for Search events
+	TagBits int  // searched bits per entry (CAM only)
+}
+
+// --- technology constants (22nm-flavoured) ---
+//
+// Structure areas are *effective* areas: they fold the decoders, match
+// lines, priority encoders and select logic that McPAT attributes to a
+// block into per-bit coefficients, which is why the CAM coefficient is far
+// larger than a raw SRAM cell. The constants are set so that relative
+// core-vs-core comparisons land in the regime the paper reports.
+const (
+	// SRAM / CAM geometry.
+	sramBitArea = 4.0e-6 // mm^2 per bit (effective, incl. decoders/ports)
+	camBitArea  = 6.0e-4 // mm^2 per searched tag bit (effective, incl. match+select)
+	portAreaFac = 0.35   // extra area per port beyond the first
+
+	// Dynamic energy (pJ).
+	ramBasePJ  = 0.50 // wordline/decoder overhead per access
+	ramBitPJ   = 0.030
+	camBasePJ  = 0.80
+	camBitPJ   = 0.170 // per entry*tag-bit per search
+	fuIntPJ    = 3.0
+	fuFPPJ     = 8.0
+	fuAGUPJ    = 2.0
+	frontendPJ = 4.5  // fetch+decode per instruction
+	bpredPJ    = 6.0  // TAGE + BTB lookup/update per branch
+	l1AccessPJ = 15.0 // per L1I/L1D access
+
+	// Leakage: static power density over structure+logic area, expressed
+	// as pJ per cycle per mm^2 at the 2 GHz clock of Table I.
+	leakPJPerCycleMM2 = 3.5
+
+	// Fixed (non-SRAM) logic blocks, mm^2.
+	areaFUs      = 0.90 // 2 ALUs + 2 FPUs + 2 AGUs + bypass
+	areaFrontend = 0.55 // fetch, decode, branch unit logic
+	areaBpredMM2 = 0.30 // 32 KiB TAGE + BTB
+	areaL1MM2    = 0.50 // per 32 KiB L1 (I and D each)
+	areaCtlBase  = 0.25 // miscellaneous control
+)
+
+// AccessEnergy returns the dynamic energy in pJ of one event of kind k on s.
+func (s Structure) AccessEnergy(k EventKind) float64 {
+	switch k {
+	case Search:
+		if !s.CAM {
+			return 0
+		}
+		tag := s.TagBits
+		if tag == 0 {
+			tag = 16
+		}
+		return camBasePJ + camBitPJ*float64(s.Entries*tag)
+	default:
+		// Read/write energy grows with row width and weakly with depth.
+		depthFac := math.Sqrt(float64(maxInt(s.Entries, 1)))
+		portFac := 1 + portAreaFac*float64(maxInt(s.Ports-1, 0))*0.5
+		return (ramBasePJ + ramBitPJ*float64(s.Bits)*depthFac/4) * portFac
+	}
+}
+
+// Area returns the area of s in mm^2.
+func (s Structure) Area() float64 {
+	bits := float64(s.Entries * s.Bits)
+	a := bits * sramBitArea
+	if s.CAM {
+		tag := s.TagBits
+		if tag == 0 {
+			tag = 16
+		}
+		a += float64(s.Entries*tag) * camBitArea
+	}
+	a *= 1 + portAreaFac*float64(maxInt(s.Ports-1, 0))
+	return a
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Accountant accumulates per-structure event counts plus the shared
+// (non-structure) activity of a core, and evaluates the energy/area model.
+type Accountant struct {
+	structs []Structure
+	index   map[string]int
+	counts  [][numKinds]uint64
+
+	IntOps   uint64 // integer FU operations
+	FPOps    uint64
+	AGUOps   uint64
+	Frontend uint64 // instructions fetched+decoded
+	BpredOps uint64 // branches predicted
+	L1Access uint64 // L1I + L1D accesses
+	Cycles   uint64
+
+	// FrontendScale multiplies the per-instruction fetch/decode energy;
+	// deeper pipelines (the 9-stage CASINO/OoO vs the 7-stage InO) pay
+	// more latch/control energy per instruction. Zero means 1.0.
+	FrontendScale float64
+}
+
+// NewAccountant creates an empty accountant.
+func NewAccountant() *Accountant {
+	return &Accountant{index: map[string]int{}}
+}
+
+// Register adds a structure and returns its handle for Inc. Registering a
+// duplicate name panics: each block must be declared once.
+func (a *Accountant) Register(s Structure) int {
+	if _, dup := a.index[s.Name]; dup {
+		panic(fmt.Sprintf("energy: duplicate structure %q", s.Name))
+	}
+	a.index[s.Name] = len(a.structs)
+	a.structs = append(a.structs, s)
+	a.counts = append(a.counts, [numKinds]uint64{})
+	return len(a.structs) - 1
+}
+
+// Inc counts n events of kind k on structure handle h.
+func (a *Accountant) Inc(h int, k EventKind, n uint64) {
+	a.counts[h][k] += n
+}
+
+// Count returns the accumulated count for structure h and kind k.
+func (a *Accountant) Count(h int, k EventKind) uint64 { return a.counts[h][k] }
+
+// CountByName returns counts for a named structure (0s if absent).
+func (a *Accountant) CountByName(name string, k EventKind) uint64 {
+	if h, ok := a.index[name]; ok {
+		return a.counts[h][k]
+	}
+	return 0
+}
+
+// StructArea returns the summed area of registered structures plus the
+// fixed logic blocks, in mm^2.
+func (a *Accountant) Area() float64 {
+	total := areaFUs + areaFrontend + areaBpredMM2 + 2*areaL1MM2 + areaCtlBase
+	for _, s := range a.structs {
+		total += s.Area()
+	}
+	return total
+}
+
+// AreaBreakdown returns per-block areas (fixed blocks + structures).
+func (a *Accountant) AreaBreakdown() map[string]float64 {
+	out := map[string]float64{
+		"FUs":      areaFUs,
+		"Frontend": areaFrontend,
+		"Bpred":    areaBpredMM2,
+		"L1":       2 * areaL1MM2,
+		"Control":  areaCtlBase,
+	}
+	for _, s := range a.structs {
+		out[s.Name] = s.Area()
+	}
+	return out
+}
+
+// DynamicEnergy returns accumulated dynamic energy in pJ.
+func (a *Accountant) DynamicEnergy() float64 {
+	var e float64
+	for i, s := range a.structs {
+		for k := EventKind(0); k < numKinds; k++ {
+			if c := a.counts[i][k]; c != 0 {
+				e += float64(c) * s.AccessEnergy(k)
+			}
+		}
+	}
+	e += float64(a.IntOps) * fuIntPJ
+	e += float64(a.FPOps) * fuFPPJ
+	e += float64(a.AGUOps) * fuAGUPJ
+	fs := a.FrontendScale
+	if fs == 0 {
+		fs = 1
+	}
+	e += float64(a.Frontend) * frontendPJ * fs
+	e += float64(a.BpredOps) * bpredPJ
+	e += float64(a.L1Access) * l1AccessPJ
+	return e
+}
+
+// StaticEnergy returns leakage energy in pJ over the recorded Cycles.
+func (a *Accountant) StaticEnergy() float64 {
+	return a.StaticEnergyOver(a.Cycles)
+}
+
+// StaticEnergyOver returns leakage energy in pJ over an explicit cycle
+// count (used by the harness to bill only the measurement window).
+func (a *Accountant) StaticEnergyOver(cycles uint64) float64 {
+	return float64(cycles) * leakPJPerCycleMM2 * a.Area()
+}
+
+// TotalEnergy returns dynamic + static energy in pJ.
+func (a *Accountant) TotalEnergy() float64 { return a.DynamicEnergy() + a.StaticEnergy() }
+
+// EnergyBreakdown returns dynamic energy per structure/block in pJ.
+func (a *Accountant) EnergyBreakdown() map[string]float64 {
+	out := map[string]float64{}
+	for i, s := range a.structs {
+		var e float64
+		for k := EventKind(0); k < numKinds; k++ {
+			e += float64(a.counts[i][k]) * s.AccessEnergy(k)
+		}
+		out[s.Name] = e
+	}
+	out["FUs"] = float64(a.IntOps)*fuIntPJ + float64(a.FPOps)*fuFPPJ + float64(a.AGUOps)*fuAGUPJ
+	fs := a.FrontendScale
+	if fs == 0 {
+		fs = 1
+	}
+	out["Frontend"] = float64(a.Frontend) * frontendPJ * fs
+	out["Bpred"] = float64(a.BpredOps) * bpredPJ
+	out["L1"] = float64(a.L1Access) * l1AccessPJ
+	out["Leakage"] = a.StaticEnergy()
+	return out
+}
+
+// Structures returns the registered structure names in registration order.
+func (a *Accountant) Structures() []string {
+	names := make([]string, len(a.structs))
+	for i, s := range a.structs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// SortedBreakdown formats a breakdown map deterministically.
+func SortedBreakdown(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s=%.1f", k, m[k])
+	}
+	return out
+}

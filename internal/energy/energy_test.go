@@ -1,0 +1,158 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStructureEnergyScaling(t *testing.T) {
+	small := Structure{Name: "iq16", Entries: 16, Bits: 64, Ports: 2, CAM: true, TagBits: 16}
+	big := Structure{Name: "iq64", Entries: 64, Bits: 64, Ports: 2, CAM: true, TagBits: 16}
+	if small.AccessEnergy(Search) >= big.AccessEnergy(Search) {
+		t.Error("CAM search energy must grow with entries")
+	}
+	if small.AccessEnergy(Read) >= big.AccessEnergy(Read) {
+		t.Error("RAM read energy must grow with entries")
+	}
+	ram := Structure{Name: "ram", Entries: 16, Bits: 64, Ports: 2}
+	if ram.AccessEnergy(Search) != 0 {
+		t.Error("non-CAM structure must have zero search energy")
+	}
+	fewPorts := Structure{Name: "p2", Entries: 32, Bits: 64, Ports: 2}
+	manyPorts := Structure{Name: "p8", Entries: 32, Bits: 64, Ports: 8}
+	if fewPorts.AccessEnergy(Read) >= manyPorts.AccessEnergy(Read) {
+		t.Error("access energy must grow with ports")
+	}
+	if fewPorts.Area() >= manyPorts.Area() {
+		t.Error("area must grow with ports")
+	}
+}
+
+func TestCAMCostsMoreThanRAM(t *testing.T) {
+	cam := Structure{Name: "cam", Entries: 16, Bits: 64, Ports: 2, CAM: true, TagBits: 48}
+	ram := Structure{Name: "ram", Entries: 16, Bits: 64, Ports: 2}
+	if cam.Area() <= ram.Area() {
+		t.Error("CAM area must exceed same-geometry RAM")
+	}
+	if cam.AccessEnergy(Search) <= ram.AccessEnergy(Read) {
+		t.Error("CAM search must cost more than a RAM read at this size")
+	}
+}
+
+func TestAccountantCounts(t *testing.T) {
+	a := NewAccountant()
+	h := a.Register(Structure{Name: "rat", Entries: 32, Bits: 8, Ports: 6})
+	a.Inc(h, Read, 10)
+	a.Inc(h, Write, 4)
+	if a.Count(h, Read) != 10 || a.Count(h, Write) != 4 {
+		t.Error("counts wrong")
+	}
+	if a.CountByName("rat", Read) != 10 {
+		t.Error("CountByName wrong")
+	}
+	if a.CountByName("nope", Read) != 0 {
+		t.Error("missing structure should count 0")
+	}
+	if got := a.Structures(); len(got) != 1 || got[0] != "rat" {
+		t.Errorf("Structures = %v", got)
+	}
+}
+
+func TestAccountantDuplicatePanics(t *testing.T) {
+	a := NewAccountant()
+	a.Register(Structure{Name: "x"})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register accepted")
+		}
+	}()
+	a.Register(Structure{Name: "x"})
+}
+
+func TestEnergyComposition(t *testing.T) {
+	a := NewAccountant()
+	h := a.Register(Structure{Name: "prf", Entries: 32, Bits: 64, Ports: 4})
+	a.Inc(h, Read, 1000)
+	a.IntOps = 500
+	a.FPOps = 100
+	a.Frontend = 1000
+	a.L1Access = 300
+	a.Cycles = 10000
+	dyn := a.DynamicEnergy()
+	if dyn <= 0 {
+		t.Fatal("dynamic energy not positive")
+	}
+	st := a.StaticEnergy()
+	if st <= 0 {
+		t.Fatal("static energy not positive")
+	}
+	if tot := a.TotalEnergy(); tot != dyn+st {
+		t.Errorf("TotalEnergy = %v, want %v", tot, dyn+st)
+	}
+	// FP ops cost more than int ops.
+	b := NewAccountant()
+	b.IntOps = 100
+	c := NewAccountant()
+	c.FPOps = 100
+	if b.DynamicEnergy() >= c.DynamicEnergy() {
+		t.Error("FP ops should cost more than int ops")
+	}
+}
+
+func TestEnergyBreakdownSumsToTotal(t *testing.T) {
+	a := NewAccountant()
+	h := a.Register(Structure{Name: "sq", Entries: 8, Bits: 100, Ports: 2, CAM: true, TagBits: 40})
+	a.Inc(h, Search, 200)
+	a.Inc(h, Write, 50)
+	a.IntOps = 77
+	a.Cycles = 500
+	bd := a.EnergyBreakdown()
+	var sum float64
+	for _, v := range bd {
+		sum += v
+	}
+	if diff := sum - a.TotalEnergy(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("breakdown sum %v != total %v", sum, a.TotalEnergy())
+	}
+	lines := SortedBreakdown(bd)
+	joined := strings.Join(lines, " ")
+	if !strings.Contains(joined, "sq=") || !strings.Contains(joined, "Leakage=") {
+		t.Errorf("SortedBreakdown missing keys: %v", lines)
+	}
+}
+
+func TestAreaIncludesFixedBlocks(t *testing.T) {
+	empty := NewAccountant()
+	base := empty.Area()
+	if base <= 0 {
+		t.Fatal("fixed-block area must be positive")
+	}
+	a := NewAccountant()
+	a.Register(Structure{Name: "rob", Entries: 32, Bits: 96, Ports: 4})
+	if a.Area() <= base {
+		t.Error("registered structure did not add area")
+	}
+	bd := a.AreaBreakdown()
+	if bd["FUs"] <= 0 || bd["rob"] <= 0 {
+		t.Errorf("area breakdown: %v", bd)
+	}
+}
+
+func TestMoreEventsMoreEnergyProperty(t *testing.T) {
+	f := func(n1, n2 uint16) bool {
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		mk := func(n uint16) float64 {
+			a := NewAccountant()
+			h := a.Register(Structure{Name: "s", Entries: 16, Bits: 64, Ports: 2, CAM: true, TagBits: 16})
+			a.Inc(h, Search, uint64(n))
+			return a.DynamicEnergy()
+		}
+		return mk(n1) <= mk(n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package ino implements the paper's baseline: a 2-wide stall-on-use
+// in-order core (§III-A). Instructions issue strictly in program order
+// from the head of a FIFO IQ; the pipeline stalls only when the *consumer*
+// of a pending value reaches the IQ head (stall-on-use), so independent
+// instructions behind a long-latency load keep issuing. A 4-entry
+// scoreboard (SCB) window enforces in-order write-back for precise
+// exceptions; committed stores drain through a 4-entry store buffer.
+package ino
+
+import (
+	"casino/internal/bpred"
+	"casino/internal/energy"
+	"casino/internal/frontend"
+	"casino/internal/isa"
+	"casino/internal/lsu"
+	"casino/internal/mem"
+	"casino/internal/pipeline"
+	"casino/internal/trace"
+)
+
+// Config holds the Table I in-order core parameters.
+type Config struct {
+	Width      int // superscalar width (issue = commit = fetch)
+	IQSize     int // FIFO instruction queue entries
+	SCBSize    int // scoreboard window (in-flight issued instructions)
+	SBSize     int // store buffer entries
+	FrontDepth int // redirect penalty (7-stage pipeline)
+}
+
+// DefaultConfig returns the Table I InO configuration.
+func DefaultConfig() Config {
+	return Config{Width: 2, IQSize: 16, SCBSize: 4, SBSize: 4, FrontDepth: 5}
+}
+
+type entry struct {
+	op     *isa.MicroOp
+	done   int64 // result available
+	wbDone int64 // in-order write-back completion
+}
+
+// Core is the baseline in-order core.
+type Core struct {
+	cfg  Config
+	now  int64
+	fe   *frontend.FrontEnd
+	hier *mem.Hierarchy
+	fus  *pipeline.FUPool
+	acct *energy.Accountant
+	sb   *lsu.StoreQueue
+
+	iq  []entry // dispatched, waiting to issue (FIFO)
+	win []entry // issued, waiting for in-order write-back (SCB window)
+
+	regReady [isa.NumArchRegs]int64
+
+	committed uint64
+	lastWB    int64
+
+	// OnCommit, when non-nil, observes each committed sequence number
+	// (architectural-invariant checking in tests).
+	OnCommit func(seq uint64)
+
+	// Structure handles for the energy model.
+	hIQ, hSCB, hARF, hSB int
+
+	// Model statistics.
+	LoadsForwarded uint64
+	IssueStallsSrc uint64 // cycles head stalled on operands (stall-on-use)
+	IssueStallsRes uint64 // cycles head stalled on FUs/window/SB
+}
+
+// New builds an in-order core running the given trace.
+func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
+	c := &Core{
+		cfg:  cfg,
+		hier: hier,
+		fus:  pipeline.ScaledFUPool(cfg.Width),
+		acct: acct,
+		sb:   lsu.NewStoreQueue(cfg.SBSize),
+		iq:   make([]entry, 0, cfg.IQSize),
+		win:  make([]entry, 0, cfg.SCBSize),
+	}
+	c.fe = frontend.New(
+		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
+		tr.Reader(), bpred.NewPredictor(), hier, acct)
+	c.hIQ = acct.Register(energy.Structure{Name: "IQ", Entries: cfg.IQSize, Bits: 64, Ports: 2 * cfg.Width})
+	c.hSCB = acct.Register(energy.Structure{Name: "SCB", Entries: cfg.SCBSize, Bits: 48, Ports: 2 * cfg.Width})
+	c.hARF = acct.Register(energy.Structure{Name: "ARF", Entries: isa.NumArchRegs, Bits: 64, Ports: 3 * cfg.Width})
+	c.hSB = acct.Register(energy.Structure{Name: "SB", Entries: cfg.SBSize, Bits: 112, Ports: 2, CAM: true, TagBits: 40})
+	return c
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// Committed returns the number of committed micro-ops.
+func (c *Core) Committed() uint64 { return c.committed }
+
+// Done reports whether the trace is exhausted and the pipeline drained.
+func (c *Core) Done() bool {
+	return c.fe.Done() && len(c.iq) == 0 && len(c.win) == 0 && c.sb.Len() == 0
+}
+
+// Mispredicts returns front-end branch mispredict count.
+func (c *Core) Mispredicts() uint64 { return c.fe.Mispredicts }
+
+// Cycle advances the core by one clock.
+func (c *Core) Cycle() {
+	now := c.now
+	c.retireStores(now)
+	c.writeback(now)
+	c.issue(now)
+	c.dispatch()
+	c.fe.Cycle(now)
+	c.now++
+	c.acct.Cycles++
+}
+
+// retireStores drains the store buffer head into the L1D.
+func (c *Core) retireStores(now int64) {
+	if c.sb.HeadRetirable(now) {
+		e := c.sb.Head()
+		done := c.hier.Store(e.PC, e.Addr, now)
+		c.acct.L1Access++
+		c.sb.StartRetire(done)
+	}
+	c.sb.PopRetired(now)
+}
+
+// writeback commits up to Width completed instructions in order from the
+// SCB window. A store needs a free store-buffer entry to commit.
+func (c *Core) writeback(now int64) {
+	for n := 0; n < c.cfg.Width && len(c.win) > 0; n++ {
+		e := &c.win[0]
+		wb := e.done
+		if wb < c.lastWB {
+			wb = c.lastWB // SCB enforces in-order write-back
+		}
+		if wb > now {
+			return
+		}
+		if e.op.Class == isa.Store {
+			if c.sb.Full() {
+				return
+			}
+			c.sb.Dispatch(e.op.Seq, e.op.PC)
+			c.sb.Resolve(e.op.Seq, e.op.Addr, e.op.Size, now, e.done)
+			c.sb.Commit(e.op.Seq)
+			c.acct.Inc(c.hSB, energy.Write, 1)
+		}
+		c.lastWB = wb
+		if e.op.HasDst() {
+			c.acct.Inc(c.hARF, energy.Write, 1)
+		}
+		c.acct.Inc(c.hSCB, energy.Write, 1)
+		if c.OnCommit != nil {
+			c.OnCommit(e.op.Seq)
+		}
+		c.win = c.win[1:]
+		c.committed++
+	}
+}
+
+// issue examines the IQ head in order and issues ready instructions
+// (stall-on-use: the first non-ready instruction blocks all younger ones).
+func (c *Core) issue(now int64) {
+	for n := 0; n < c.cfg.Width && len(c.iq) > 0; n++ {
+		e := &c.iq[0]
+		op := e.op
+		c.acct.Inc(c.hSCB, energy.Read, 1)
+		if !c.srcsReady(op, now) {
+			c.IssueStallsSrc++
+			return
+		}
+		if len(c.win) >= c.cfg.SCBSize || !c.fus.CanIssue(op.Class, now) {
+			c.IssueStallsRes++
+			return
+		}
+		c.fus.Issue(op.Class, now)
+		c.countFU(op.Class)
+		c.acct.Inc(c.hIQ, energy.Read, 1)
+		c.acct.Inc(c.hARF, energy.Read, 2)
+
+		done := c.execute(op, now)
+		if op.HasDst() {
+			c.regReady[op.Dst] = done
+		}
+		if op.Class == isa.Branch {
+			c.fe.BranchResolved(op.Seq, done)
+		}
+		c.win = append(c.win, entry{op: op, done: done})
+		c.iq = c.iq[1:]
+	}
+}
+
+// execute computes the completion cycle of op issued at now.
+func (c *Core) execute(op *isa.MicroOp, now int64) int64 {
+	switch op.Class {
+	case isa.Load:
+		agu := now + int64(op.Class.ExecLatency())
+		// Forward from an older in-flight store (SCB window or SB).
+		if c.forwardFromStores(op, now) {
+			c.LoadsForwarded++
+			return agu + int64(c.hier.Config().L1Latency)
+		}
+		done, _ := c.hier.Load(op.PC, op.Addr, agu)
+		c.acct.L1Access++
+		return done
+	case isa.Store:
+		return now + int64(op.Class.ExecLatency())
+	default:
+		return now + int64(op.Class.ExecLatency())
+	}
+}
+
+// forwardFromStores searches older in-flight stores for a value match.
+// All older stores have already issued (in-order), so addresses are known.
+func (c *Core) forwardFromStores(op *isa.MicroOp, now int64) bool {
+	c.acct.Inc(c.hSB, energy.Search, 1)
+	for i := range c.win {
+		if c.win[i].op.Class == isa.Store && c.win[i].op.Overlaps(op) {
+			return true
+		}
+	}
+	res := c.sb.SearchForLoad(op.Seq, op.Addr, op.Size, false)
+	return res.Forward != nil
+}
+
+func (c *Core) srcsReady(op *isa.MicroOp, now int64) bool {
+	for _, s := range [...]isa.Reg{op.Src1, op.Src2} {
+		if s.Valid() && c.regReady[s] > now {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) countFU(class isa.Class) {
+	switch class.FU() {
+	case isa.FUFP:
+		c.acct.FPOps++
+	case isa.FUAGU:
+		c.acct.AGUOps++
+	default:
+		c.acct.IntOps++
+	}
+}
+
+// dispatch moves decoded ops from the front end into the IQ.
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.Width && len(c.iq) < c.cfg.IQSize; n++ {
+		op := c.fe.Pop()
+		if op == nil {
+			return
+		}
+		c.iq = append(c.iq, entry{op: op})
+		c.acct.Inc(c.hIQ, energy.Write, 1)
+	}
+}

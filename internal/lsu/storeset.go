@@ -1,0 +1,114 @@
+package lsu
+
+// StoreSets is the memory dependence predictor used by the OoO baseline
+// (Chrysos & Emer store sets, as in the Alpha 21264 the paper cites). Loads
+// and stores that have violated together are assigned to a common store
+// set; a load predicted dependent waits for the last in-flight store of
+// its set to issue.
+type StoreSets struct {
+	ssit     []int32          // PC hash -> store-set ID (-1 = none)
+	lfst     map[int32]uint64 // set ID -> youngest in-flight store seq
+	next     int32
+	clearInt uint64 // cyclic-clearing period in predictions (0 = never)
+
+	Predictions uint64
+	Hits        uint64 // loads predicted dependent
+	Merges      uint64 // violations recorded
+	Clears      uint64
+}
+
+// DefaultClearInterval is the cyclic-clearing period used by NewStoreSets.
+const DefaultClearInterval = 16384
+
+// NewStoreSets creates a predictor with a 1024-entry SSIT and the default
+// cyclic-clearing interval.
+func NewStoreSets() *StoreSets { return NewStoreSetsWithClear(DefaultClearInterval) }
+
+// NewStoreSetsWithClear creates a predictor that flushes its SSIT every
+// clearInterval predictions (0 disables clearing — an idealized predictor
+// that never forgets).
+func NewStoreSetsWithClear(clearInterval uint64) *StoreSets {
+	s := &StoreSets{ssit: make([]int32, 1024), lfst: make(map[int32]uint64), clearInt: clearInterval}
+	for i := range s.ssit {
+		s.ssit[i] = -1
+	}
+	return s
+}
+
+func (s *StoreSets) idx(pc uint64) int { return int((pc >> 2) % uint64(len(s.ssit))) }
+
+// OnViolation records that loadPC violated against storePC, merging them
+// into one store set.
+func (s *StoreSets) OnViolation(loadPC, storePC uint64) {
+	s.Merges++
+	li, si := s.idx(loadPC), s.idx(storePC)
+	switch {
+	case s.ssit[li] == -1 && s.ssit[si] == -1:
+		id := s.next
+		s.next++
+		s.ssit[li], s.ssit[si] = id, id
+	case s.ssit[li] == -1:
+		s.ssit[li] = s.ssit[si]
+	case s.ssit[si] == -1:
+		s.ssit[si] = s.ssit[li]
+	default:
+		// Merge: adopt the smaller ID for both.
+		id := s.ssit[li]
+		if s.ssit[si] < id {
+			id = s.ssit[si]
+		}
+		s.ssit[li], s.ssit[si] = id, id
+	}
+}
+
+// StoreDispatched records a store entering the window.
+func (s *StoreSets) StoreDispatched(pc uint64, seq uint64) {
+	if id := s.ssit[s.idx(pc)]; id != -1 {
+		s.lfst[id] = seq
+	}
+}
+
+// StoreIssued clears the in-flight marker if seq is still the set's
+// youngest store.
+func (s *StoreSets) StoreIssued(pc uint64, seq uint64) {
+	if id := s.ssit[s.idx(pc)]; id != -1 {
+		if cur, ok := s.lfst[id]; ok && cur == seq {
+			delete(s.lfst, id)
+		}
+	}
+}
+
+// LoadDependence predicts whether the load at pc must wait, returning the
+// store sequence it should wait for. Real store-set predictors (e.g. the
+// Alpha 21264 the paper cites) periodically flush the SSIT so stale
+// dependences do not serialize forever — at the price of re-learning
+// through fresh violations.
+func (s *StoreSets) LoadDependence(pc uint64) (storeSeq uint64, wait bool) {
+	s.Predictions++
+	if s.clearInt != 0 && s.Predictions%s.clearInt == 0 {
+		for i := range s.ssit {
+			s.ssit[i] = -1
+		}
+		s.lfst = make(map[int32]uint64)
+		s.Clears++
+	}
+	id := s.ssit[s.idx(pc)]
+	if id == -1 {
+		return 0, false
+	}
+	seq, ok := s.lfst[id]
+	if ok {
+		s.Hits++
+	}
+	return seq, ok
+}
+
+// Reset clears all predictor state.
+func (s *StoreSets) Reset() {
+	for i := range s.ssit {
+		s.ssit[i] = -1
+	}
+	s.lfst = make(map[int32]uint64)
+	s.next = 0
+	s.Predictions, s.Hits, s.Merges = 0, 0, 0
+}

@@ -1,0 +1,163 @@
+// Package mem models the memory subsystem of Table I: 32 KiB 8-way L1I and
+// L1D (4-cycle), a unified 1 MiB 16-way L2 (11-cycle) with a stride-based
+// prefetcher, MSHRs for non-blocking misses, and a DDR4-2400 DRAM with a
+// bank/row timing model (the Ramulator stand-in).
+//
+// The model is timing-only and synchronous: an access performed at cycle t
+// returns the cycle at which its data is available, updating internal
+// occupancy state (MSHRs, DRAM banks, channel) so that concurrent misses
+// contend realistically. This is what bounds and exposes MLP.
+package mem
+
+import "fmt"
+
+// BlockBits is log2 of the cache line size (64-byte lines).
+const BlockBits = 6
+
+// BlockSize is the cache line size in bytes.
+const BlockSize = 1 << BlockBits
+
+// LineAddr returns the line-granular address of a byte address.
+func LineAddr(addr uint64) uint64 { return addr >> BlockBits }
+
+// Cache is a set-associative write-back, write-allocate cache with true-LRU
+// replacement. It tracks hit/miss and dirty evictions; timing is composed
+// by Hierarchy.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	setMask  uint64
+	tags     []uint64 // sets*ways entries; tag = lineAddr
+	valid    []bool
+	dirty    []bool
+	lruAge   []uint64 // smaller = older
+	ageClock uint64
+
+	Accesses uint64
+	Misses   uint64
+	Evicts   uint64
+	DirtyEvs uint64
+}
+
+// NewCache creates a cache of size bytes with the given associativity.
+// size must be a power-of-two multiple of ways*BlockSize.
+func NewCache(name string, size, ways int) *Cache {
+	if ways < 1 || size < ways*BlockSize {
+		panic(fmt.Sprintf("mem: bad cache geometry %s size=%d ways=%d", name, size, ways))
+	}
+	sets := size / (ways * BlockSize)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: %s set count %d not a power of two", name, sets))
+	}
+	n := sets * ways
+	return &Cache{
+		name: name, sets: sets, ways: ways, setMask: uint64(sets - 1),
+		tags: make([]uint64, n), valid: make([]bool, n), dirty: make([]bool, n),
+		lruAge: make([]uint64, n),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
+
+// Probe reports whether the line containing addr is present, without
+// updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	line := LineAddr(addr)
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a read (write=false) or write (write=true) of addr.
+// On a miss the line is allocated (write-allocate), evicting the LRU way.
+// It returns hit, and for an allocation that displaced a dirty line,
+// wroteBack=true with the evicted line address.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, wroteBack bool, victim uint64) {
+	c.Accesses++
+	line := LineAddr(addr)
+	set := c.setOf(line)
+	base := set * c.ways
+	c.ageClock++
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.lruAge[i] = c.ageClock
+			if write {
+				c.dirty[i] = true
+			}
+			return true, false, 0
+		}
+	}
+	c.Misses++
+	// Allocate: choose invalid way or LRU.
+	vi := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			vi = i
+			oldest = 0
+			break
+		}
+		if c.lruAge[i] < oldest {
+			oldest = c.lruAge[i]
+			vi = i
+		}
+	}
+	if c.valid[vi] {
+		c.Evicts++
+		if c.dirty[vi] {
+			c.DirtyEvs++
+			wroteBack = true
+			victim = c.tags[vi] << BlockBits
+		}
+	}
+	c.valid[vi] = true
+	c.tags[vi] = line
+	c.dirty[vi] = write
+	c.lruAge[vi] = c.ageClock
+	return false, wroteBack, victim
+}
+
+// Fill inserts the line containing addr without counting an access (used
+// for prefetches). Returns dirty-eviction info like Access.
+func (c *Cache) Fill(addr uint64) (wroteBack bool, victim uint64) {
+	c.Accesses-- // Access below will re-increment; keep prefetches uncounted
+	hit, wb, v := c.Access(addr, false)
+	if hit {
+		return false, 0
+	}
+	c.Misses-- // do not count prefetch fills as demand misses
+	return wb, v
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.lruAge[i] = 0
+		c.tags[i] = 0
+	}
+	c.ageClock = 0
+	c.Accesses, c.Misses, c.Evicts, c.DirtyEvs = 0, 0, 0, 0
+}
+
+// MissRate returns Misses/Accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,134 @@
+package mem
+
+// DRAM models a single-channel, single-rank DDR4-2400 device with 16 banks
+// and open-page row-buffer policy, translated to core cycles at 2 GHz.
+//
+// Timings (DDR4-2400, CL-RCD-RP = 16-16-16 at 1200 MHz command clock):
+// one memory cycle = coreHz/memHz = 2000/1200 = 5/3 core cycles. A burst of
+// one 64-byte line takes 4 memory clocks (BL8 at DDR). The model tracks,
+// per bank, the open row and the time the bank becomes free, plus a shared
+// data-bus free time, which is what creates bank-level parallelism and
+// queueing under bursts of misses.
+type DRAM struct {
+	banks    int
+	rowBytes uint64
+	bankFree []int64
+	openRow  []int64 // -1 = closed
+	busFree  int64
+
+	// core-cycle latencies
+	tCAS   int64 // column access (row hit)
+	tRCD   int64 // activate
+	tRP    int64 // precharge
+	tBurst int64
+
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	RowConfl  uint64 // row miss that also required closing an open row
+}
+
+// NewDRAM creates the default DDR4-2400 model.
+func NewDRAM() *DRAM { return NewDRAMGrade(2400) }
+
+// NewDRAMGrade creates a DDR4 model at the given transfer rate (1600,
+// 2400 or 3200 MT/s — JEDEC speed grades with their standard CL-RCD-RP
+// timings), still expressed in 2 GHz core cycles. Slower grades raise the
+// latency the schedulers must hide; the sensitivity study sweeps this.
+func NewDRAMGrade(mts int) *DRAM {
+	// Command clock = MT/s / 2; timings per JEDEC bins.
+	var clkMHz, trp int64
+	switch {
+	case mts <= 1600:
+		clkMHz, trp = 800, 11 // DDR4-1600J
+	case mts <= 2400:
+		clkMHz, trp = 1200, 16 // DDR4-2400R
+	default:
+		clkMHz, trp = 1600, 22 // DDR4-3200W
+	}
+	memToCore := func(memCycles int64) int64 { return memCycles * 2000 / clkMHz }
+	d := &DRAM{
+		banks:    16,
+		rowBytes: 8 << 10, // 8 KiB row per bank
+		tCAS:     memToCore(trp),
+		tRCD:     memToCore(trp),
+		tRP:      memToCore(trp),
+		tBurst:   memToCore(4),
+	}
+	d.bankFree = make([]int64, d.banks)
+	d.openRow = make([]int64, d.banks)
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	return d
+}
+
+func (d *DRAM) bankOf(addr uint64) int {
+	// Bank interleave on line address above the row offset's low bits to
+	// spread streams across banks.
+	return int((addr >> BlockBits) % uint64(d.banks))
+}
+
+func (d *DRAM) rowOf(addr uint64) int64 {
+	return int64(addr / (d.rowBytes * uint64(d.banks)))
+}
+
+// Access performs a read or write of the line containing addr, arriving at
+// core cycle t. It returns the core cycle at which the data transfer
+// completes.
+func (d *DRAM) Access(addr uint64, write bool, t int64) int64 {
+	if write {
+		d.Writes++
+	} else {
+		d.Reads++
+	}
+	b := d.bankOf(addr)
+	row := d.rowOf(addr)
+	start := t
+	if d.bankFree[b] > start {
+		start = d.bankFree[b]
+	}
+	var ready int64
+	switch {
+	case d.openRow[b] == row:
+		d.RowHits++
+		ready = start + d.tCAS
+	case d.openRow[b] == -1:
+		d.RowMisses++
+		ready = start + d.tRCD + d.tCAS
+	default:
+		d.RowMisses++
+		d.RowConfl++
+		ready = start + d.tRP + d.tRCD + d.tCAS
+	}
+	d.openRow[b] = row
+	// Data transfer occupies the shared bus.
+	xfer := ready
+	if d.busFree > xfer {
+		xfer = d.busFree
+	}
+	done := xfer + d.tBurst
+	d.busFree = done
+	d.bankFree[b] = done
+	return done
+}
+
+// Reset clears bank/bus state and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.bankFree {
+		d.bankFree[i] = 0
+		d.openRow[i] = -1
+	}
+	d.busFree = 0
+	d.Reads, d.Writes, d.RowHits, d.RowMisses, d.RowConfl = 0, 0, 0, 0, 0
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (d *DRAM) RowHitRate() float64 {
+	total := d.RowHits + d.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(d.RowHits) / float64(total)
+}

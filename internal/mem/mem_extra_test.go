@@ -1,0 +1,153 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelString(t *testing.T) {
+	if LvlL1.String() != "L1" || LvlL2.String() != "L2" || LvlMem.String() != "Mem" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestHierarchyConfigAccessor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2Latency = 13
+	h := NewHierarchy(cfg)
+	if h.Config().L2Latency != 13 {
+		t.Error("Config() does not round-trip")
+	}
+}
+
+func TestDirtyL1EvictionReachesL2(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrefetchDegree = 0
+	h := NewHierarchy(cfg)
+	// Dirty a line, then walk same-set addresses until it is evicted; the
+	// writeback must land in the L2 (no data loss, and the L2 line turns
+	// dirty so its own eviction writes DRAM).
+	h.Store(0x400, 0x7000, 0)
+	setStride := uint64(h.L1D.Sets() * BlockSize)
+	tt := int64(500)
+	for i := 1; i <= h.L1D.Ways(); i++ {
+		d, _ := h.Load(0x400, 0x7000+uint64(i)*setStride, tt)
+		tt = d
+	}
+	if h.L1D.Probe(0x7000) {
+		t.Fatal("line not evicted; test setup wrong")
+	}
+	if !h.L2.Probe(0x7000) {
+		t.Error("dirty L1 eviction did not install in L2")
+	}
+	// Reload: must be an L2 hit, not DRAM.
+	_, lvl := h.Load(0x400, 0x7000, tt)
+	if lvl != LvlL2 {
+		t.Errorf("reload after writeback served from %v, want L2", lvl)
+	}
+}
+
+func TestStoreMissMergesWithOutstandingLoad(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	d1, _ := h.Load(0x400, 0x9000, 0)
+	d2 := h.Store(0x404, 0x9008, 1) // same line, while the fill is in flight
+	if d2 > d1 {
+		t.Errorf("store did not merge with outstanding load fill: %d > %d", d2, d1)
+	}
+}
+
+func TestDRAMBusSerializesSameBankStream(t *testing.T) {
+	d := NewDRAM()
+	// Accesses to the same bank must serialize even across rows.
+	t1 := d.Access(0, false, 0)
+	rowStride := d.rowBytes * uint64(d.banks)
+	t2 := d.Access(rowStride, false, 0) // bank 0, different row
+	if t2 <= t1 {
+		t.Errorf("same-bank accesses overlapped: %d <= %d", t2, t1)
+	}
+}
+
+// Property: DRAM completion times are monotone in request time for a
+// fixed address (no time travel).
+func TestDRAMMonotonicProperty(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		d := NewDRAM()
+		var now, last int64
+		for _, dt := range deltas {
+			now += int64(dt)
+			done := d.Access(0x1000, false, now)
+			if done < now || done < last {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a second access to any address immediately after the first is
+// always an L1 hit with fixed latency.
+func TestHierarchyReaccessProperty(t *testing.T) {
+	f := func(addrSeed uint32) bool {
+		h := NewHierarchy(DefaultConfig())
+		addr := uint64(addrSeed) * 64
+		d1, _ := h.Load(0x400, addr, 0)
+		d2, lvl := h.Load(0x400, addr, d1)
+		return lvl == LvlL1 && d2 == d1+int64(h.Config().L1Latency)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSHRZeroClamped(t *testing.T) {
+	m := NewMSHRs(0) // clamps to 1
+	s := m.Allocate(5, 0)
+	if s != 0 {
+		t.Errorf("start = %d", s)
+	}
+	m.Complete(5, 50)
+	// Second allocation must wait for the single slot.
+	if s := m.Allocate(6, 0); s != 50 {
+		t.Errorf("single-slot MSHR start = %d, want 50", s)
+	}
+}
+
+func TestPrefetcherDegreeClamped(t *testing.T) {
+	p := NewStridePrefetcher(0) // clamps to 1
+	var out []uint64
+	for i := 0; i < 6; i++ {
+		out = p.Train(0x100, uint64(i)*64)
+	}
+	if len(out) != 1 {
+		t.Errorf("clamped degree produced %d prefetches", len(out))
+	}
+	p.Reset()
+	if p.Trained != 0 || p.Issued != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestCacheMissRateEmpty(t *testing.T) {
+	c := NewCache("t", 1<<12, 2)
+	if c.MissRate() != 0 {
+		t.Error("empty cache MissRate != 0")
+	}
+}
+
+func TestNegativePrefetchAddressSkipped(t *testing.T) {
+	p := NewStridePrefetcher(2)
+	// Descending stride near zero: candidate addresses would go negative.
+	var out []uint64
+	for _, a := range []uint64{300, 200, 100, 0} {
+		out = p.Train(0x200, a)
+	}
+	for _, a := range out {
+		if int64(a) < 0 {
+			t.Errorf("negative prefetch address %d", int64(a))
+		}
+	}
+}

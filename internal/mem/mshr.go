@@ -1,0 +1,89 @@
+package mem
+
+// MSHRs models a cache's miss-status holding registers: the bound on
+// outstanding misses (and therefore on exploitable MLP), with same-line
+// merging.
+type MSHRs struct {
+	slotFree []int64          // per-slot: cycle at which the slot frees
+	fills    map[uint64]int64 // outstanding line fills: line -> ready cycle
+
+	Allocs uint64
+	Merges uint64
+	Stalls uint64 // allocations that had to wait for a free slot
+}
+
+// NewMSHRs creates a file of n miss registers.
+func NewMSHRs(n int) *MSHRs {
+	if n < 1 {
+		n = 1
+	}
+	return &MSHRs{slotFree: make([]int64, n), fills: make(map[uint64]int64, 4*n)}
+}
+
+// Lookup reports whether a fill of line is already outstanding at cycle t,
+// and if so when it completes. A hit here is an MSHR merge.
+func (m *MSHRs) Lookup(line uint64, t int64) (ready int64, outstanding bool) {
+	r, ok := m.fills[line]
+	if !ok || r <= t {
+		if ok {
+			delete(m.fills, line) // lazily expire completed fills
+		}
+		return 0, false
+	}
+	m.Merges++
+	return r, true
+}
+
+// Allocate reserves a slot for a new miss of line arriving at cycle t and
+// returns the cycle at which the miss can start being serviced (== t unless
+// all slots are busy). Call Complete when the fill time is known.
+func (m *MSHRs) Allocate(line uint64, t int64) (start int64) {
+	m.Allocs++
+	best := 0
+	for i, f := range m.slotFree {
+		if f <= t {
+			m.slotFree[i] = 1 << 62 // claimed; fixed up by Complete
+			return t
+		}
+		if f < m.slotFree[best] {
+			best = i
+		}
+	}
+	m.Stalls++
+	start = m.slotFree[best]
+	m.slotFree[best] = 1 << 62
+	return start
+}
+
+// Complete records that the miss of line allocated earlier finishes at
+// ready, releasing its slot at that time.
+func (m *MSHRs) Complete(line uint64, ready int64) {
+	// Release the claimed slot (the one parked at 1<<62).
+	for i, f := range m.slotFree {
+		if f == 1<<62 {
+			m.slotFree[i] = ready
+			break
+		}
+	}
+	m.fills[line] = ready
+	if len(m.fills) > 8*len(m.slotFree) {
+		m.prune(ready)
+	}
+}
+
+func (m *MSHRs) prune(now int64) {
+	for l, r := range m.fills {
+		if r <= now {
+			delete(m.fills, l)
+		}
+	}
+}
+
+// Reset clears all state and statistics.
+func (m *MSHRs) Reset() {
+	for i := range m.slotFree {
+		m.slotFree[i] = 0
+	}
+	m.fills = make(map[uint64]int64, 4*len(m.slotFree))
+	m.Allocs, m.Merges, m.Stalls = 0, 0, 0
+}

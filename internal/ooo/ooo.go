@@ -1,0 +1,459 @@
+// Package ooo implements the paper's out-of-order baseline (§II-B,
+// Table I): a 2-wide OoO core with register renaming (48 INT / 24 FP
+// physical registers), a 16-entry CAM-based issue queue with oldest-first
+// select, a 32-entry ROB, a 16-entry load queue plus an 8-entry unified
+// store queue/buffer, and a store-set memory dependence predictor.
+//
+// The NoLQ configuration models "OoO+NoLQ" of Fig. 9: the load queue is
+// removed and load speculation is validated by an on-commit value-check
+// against the store queue (Ros & Kaxiras), exactly the mechanism CASINO
+// builds on.
+package ooo
+
+import (
+	"casino/internal/bpred"
+	"casino/internal/energy"
+	"casino/internal/frontend"
+	"casino/internal/isa"
+	"casino/internal/lsu"
+	"casino/internal/mem"
+	"casino/internal/pipeline"
+	"casino/internal/regfile"
+	"casino/internal/trace"
+)
+
+// Config holds the OoO core parameters.
+type Config struct {
+	Width      int
+	IQSize     int
+	ROBSize    int
+	LQSize     int
+	SQSize     int
+	IntPRF     int
+	FPPRF      int
+	FrontDepth int
+	NoLQ       bool // replace the LQ with on-commit value-check validation
+	// SSClearInterval overrides the store-set predictor's cyclic-clearing
+	// period (predictions between SSIT flushes); 0 = the default.
+	SSClearInterval uint64
+}
+
+// DefaultConfig returns the Table I OoO configuration.
+func DefaultConfig() Config {
+	return Config{
+		Width: 2, IQSize: 16, ROBSize: 32, LQSize: 16, SQSize: 8,
+		IntPRF: 48, FPPRF: 24, FrontDepth: 7,
+	}
+}
+
+// WideConfig scales the Table I machine to the given width as §VI-F does:
+// ROB/IQ/LSQ/PRF double at 3-wide and quadruple at 4-wide.
+func WideConfig(width int) Config {
+	c := DefaultConfig()
+	scale := 1
+	switch {
+	case width >= 4:
+		scale = 4
+	case width == 3:
+		scale = 2
+	}
+	c.Width = width
+	c.IQSize *= scale
+	c.ROBSize *= scale
+	c.LQSize *= scale
+	c.SQSize *= scale
+	c.IntPRF *= scale
+	c.FPPRF *= scale
+	return c
+}
+
+func newStoreSets(clear uint64) *lsu.StoreSets {
+	if clear == 0 {
+		return lsu.NewStoreSets()
+	}
+	return lsu.NewStoreSetsWithClear(clear)
+}
+
+type robEntry struct {
+	op         *isa.MicroOp
+	inIQ       bool
+	issued     bool
+	done       int64
+	issueCycle int64
+	srcP1      regfile.PReg
+	srcP2      regfile.PReg
+	newP       regfile.PReg
+	oldP       regfile.PReg
+	waitStore  uint64 // store-set predicted dependence (lsu.NoSeq = none)
+	specLoad   bool   // load issued past an unresolved older store
+	sentinel   bool   // load set a sentinel (NoLQ mode)
+}
+
+// Core is the out-of-order baseline.
+type Core struct {
+	cfg  Config
+	now  int64
+	fe   *frontend.FrontEnd
+	hier *mem.Hierarchy
+	fus  *pipeline.FUPool
+	acct *energy.Accountant
+	rf   *regfile.File
+	sq   *lsu.StoreQueue
+	lq   *lsu.LoadQueue
+	ss   *lsu.StoreSets
+
+	rob  []robEntry // ring
+	head int
+	n    int
+
+	committed uint64
+
+	// OnCommit, when non-nil, observes each committed sequence number
+	// (architectural-invariant checking in tests).
+	OnCommit func(seq uint64)
+
+	hIQ, hROB, hRAT, hPRF, hLQ, hSQ, hFL, hMDP int
+
+	flushedThisCycle bool
+
+	// Model statistics.
+	Violations     uint64
+	Flushes        uint64
+	LoadsForwarded uint64
+	SpecLoads      uint64
+}
+
+// New builds an OoO core over the trace.
+func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
+	c := &Core{
+		cfg:  cfg,
+		hier: hier,
+		fus:  pipeline.ScaledFUPool(cfg.Width),
+		acct: acct,
+		rf:   regfile.New(cfg.IntPRF, cfg.FPPRF, 3),
+		sq:   lsu.NewStoreQueue(cfg.SQSize),
+		ss:   newStoreSets(cfg.SSClearInterval),
+		rob:  make([]robEntry, cfg.ROBSize),
+	}
+	if !cfg.NoLQ {
+		c.lq = lsu.NewLoadQueue(cfg.LQSize)
+	}
+	acct.FrontendScale = 1.4 // 9-stage pipeline vs the 7-stage InO
+	c.fe = frontend.New(
+		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
+		tr.Reader(), bpred.NewPredictor(), hier, acct)
+
+	c.hIQ = acct.Register(energy.Structure{Name: "IQ", Entries: cfg.IQSize, Bits: 96, Ports: 2 * cfg.Width, CAM: true, TagBits: 16})
+	c.hROB = acct.Register(energy.Structure{Name: "ROB", Entries: cfg.ROBSize, Bits: 96, Ports: 2 * cfg.Width})
+	c.hRAT = acct.Register(energy.Structure{Name: "RAT", Entries: isa.NumArchRegs, Bits: 8, Ports: 3 * cfg.Width})
+	c.hPRF = acct.Register(energy.Structure{Name: "PRF", Entries: cfg.IntPRF + cfg.FPPRF, Bits: 64, Ports: 3 * cfg.Width})
+	if !cfg.NoLQ {
+		c.hLQ = acct.Register(energy.Structure{Name: "LQ", Entries: cfg.LQSize, Bits: 64, Ports: 2, CAM: true, TagBits: 40})
+	} else {
+		c.hLQ = -1
+	}
+	c.hSQ = acct.Register(energy.Structure{Name: "SQ", Entries: cfg.SQSize, Bits: 112, Ports: 2, CAM: true, TagBits: 40})
+	c.hFL = acct.Register(energy.Structure{Name: "FreeList", Entries: cfg.IntPRF + cfg.FPPRF, Bits: 8, Ports: 2 * cfg.Width})
+	c.hMDP = acct.Register(energy.Structure{Name: "MDP", Entries: 1024, Bits: 10, Ports: 2})
+	return c
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// Committed returns committed op count.
+func (c *Core) Committed() uint64 { return c.committed }
+
+// Mispredicts returns front-end mispredict count.
+func (c *Core) Mispredicts() uint64 { return c.fe.Mispredicts }
+
+// Done reports pipeline drain.
+func (c *Core) Done() bool {
+	return c.fe.Done() && c.n == 0 && c.sq.Len() == 0
+}
+
+// Cycle advances one clock.
+func (c *Core) Cycle() {
+	now := c.now
+	c.retireStores(now)
+	c.commit(now)
+	c.issue(now)
+	c.dispatch(now)
+	c.fe.Cycle(now)
+	c.now++
+	c.acct.Cycles++
+}
+
+func (c *Core) at(i int) *robEntry { return &c.rob[(c.head+i)%len(c.rob)] }
+
+func (c *Core) retireStores(now int64) {
+	if c.sq.HeadRetirable(now) {
+		e := c.sq.Head()
+		done := c.hier.Store(e.PC, e.Addr, now)
+		c.acct.L1Access++
+		c.sq.StartRetire(done)
+	}
+	c.sq.PopRetired(now)
+}
+
+// commit retires up to Width completed instructions in order.
+func (c *Core) commit(now int64) {
+	for k := 0; k < c.cfg.Width && c.n > 0; k++ {
+		e := c.at(0)
+		if !e.issued || e.done > now {
+			return
+		}
+		op := e.op
+		c.acct.Inc(c.hROB, energy.Read, 1)
+		switch op.Class {
+		case isa.Load:
+			if c.cfg.NoLQ {
+				if e.specLoad {
+					// On-commit value-check: replay the search.
+					if c.sq.ValidateLoad(op.Seq, op.Addr, op.Size, e.issueCycle) {
+						c.acct.Inc(c.hSQ, energy.Search, 1)
+						c.violationFlush(op.Seq, now)
+						return
+					}
+					c.acct.Inc(c.hSQ, energy.Search, 1)
+				}
+				if e.sentinel {
+					c.sq.ClearSentinel(op.Seq)
+				}
+			} else {
+				c.lq.Release(op.Seq)
+				c.acct.Inc(c.hLQ, energy.Read, 1)
+			}
+		case isa.Store:
+			c.sq.Commit(op.Seq)
+			c.acct.Inc(c.hSQ, energy.Write, 1)
+		}
+		if e.newP != regfile.PRegNone {
+			c.rf.Release(e.oldP)
+			c.acct.Inc(c.hFL, energy.Write, 1)
+		}
+		if c.OnCommit != nil {
+			c.OnCommit(op.Seq)
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.n--
+		c.committed++
+	}
+}
+
+// issue selects up to Width ready instructions oldest-first from the IQ.
+func (c *Core) issue(now int64) {
+	issued := 0
+	for i := 0; i < c.n && issued < c.cfg.Width; i++ {
+		e := c.at(i)
+		if !e.inIQ {
+			continue
+		}
+		if !c.ready(e, now) {
+			continue
+		}
+		if !c.fus.Issue(e.op.Class, now) {
+			continue
+		}
+		c.countFU(e.op.Class)
+		c.acct.Inc(c.hIQ, energy.Read, 1)
+		c.acct.Inc(c.hPRF, energy.Read, 2)
+		c.executeOp(e, now)
+		e.inIQ = false
+		e.issued = true
+		e.issueCycle = now
+		issued++
+		if e.op.HasDst() {
+			// Completion broadcasts the destination tag across both
+			// source-tag columns of the IQ CAM (two match arrays).
+			c.acct.Inc(c.hIQ, energy.Search, 2)
+			c.acct.Inc(c.hPRF, energy.Write, 1)
+		}
+		if c.flushedThisCycle {
+			c.flushedThisCycle = false
+			return
+		}
+	}
+}
+
+func (c *Core) ready(e *robEntry, now int64) bool {
+	if e.srcP1 != regfile.PRegNone && !c.rf.IsReady(e.srcP1, now) {
+		return false
+	}
+	if e.srcP2 != regfile.PRegNone && !c.rf.IsReady(e.srcP2, now) {
+		return false
+	}
+	if e.op.Class == isa.Load && e.waitStore != lsu.NoSeq {
+		if !c.sq.ResolvedOrGone(e.waitStore) {
+			return false
+		}
+		e.waitStore = lsu.NoSeq
+	}
+	return true
+}
+
+func (c *Core) executeOp(e *robEntry, now int64) {
+	op := e.op
+	lat := int64(op.Class.ExecLatency())
+	switch op.Class {
+	case isa.Load:
+		agu := now + lat
+		res := c.sq.SearchForLoad(op.Seq, op.Addr, op.Size, false)
+		c.acct.Inc(c.hSQ, energy.Search, 1)
+		if res.OldestUnresolved != nil {
+			e.specLoad = true
+			c.SpecLoads++
+			if c.cfg.NoLQ {
+				c.sq.SetSentinel(res.OldestUnresolved, op.Seq)
+				e.sentinel = true
+			}
+		}
+		if res.Forward != nil {
+			c.LoadsForwarded++
+			e.done = agu + int64(c.hier.Config().L1Latency)
+		} else {
+			done, _ := c.hier.Load(op.PC, op.Addr, agu)
+			c.acct.L1Access++
+			e.done = done
+		}
+		if !c.cfg.NoLQ {
+			c.lq.MarkIssued(op.Seq, op.Addr, op.Size)
+			c.acct.Inc(c.hLQ, energy.Write, 1)
+		}
+	case isa.Store:
+		e.done = now + lat
+		c.sq.Resolve(op.Seq, op.Addr, op.Size, now+lat, now+lat)
+		c.ss.StoreIssued(op.PC, op.Seq)
+		c.acct.Inc(c.hSQ, energy.Write, 1)
+		c.acct.Inc(c.hMDP, energy.Write, 1)
+		if !c.cfg.NoLQ {
+			// Search the LQ for younger speculatively issued loads.
+			if loadSeq, loadPC, hit := c.lq.SearchViolation(op.Seq, op.Addr, op.Size); hit {
+				c.acct.Inc(c.hLQ, energy.Search, 1)
+				c.ss.OnViolation(loadPC, op.PC)
+				c.acct.Inc(c.hMDP, energy.Write, 2)
+				c.violationFlush(loadSeq, now)
+				c.flushedThisCycle = true
+				return
+			}
+			c.acct.Inc(c.hLQ, energy.Search, 1)
+		}
+	case isa.Branch:
+		e.done = now + lat
+		c.fe.BranchResolved(op.Seq, e.done)
+	default:
+		e.done = now + lat
+	}
+	if e.newP != regfile.PRegNone {
+		c.rf.SetReadyAt(e.newP, e.done)
+	}
+}
+
+func (c *Core) countFU(class isa.Class) {
+	switch class.FU() {
+	case isa.FUFP:
+		c.acct.FPOps++
+	case isa.FUAGU:
+		c.acct.AGUOps++
+	default:
+		c.acct.IntOps++
+	}
+}
+
+// violationFlush squashes the load with sequence victim and everything
+// younger, restores the RAT, and refetches.
+func (c *Core) violationFlush(victim uint64, now int64) {
+	c.Violations++
+	c.Flushes++
+	// Walk the ROB youngest-first, undoing renames down to the victim.
+	for c.n > 0 {
+		e := c.at(c.n - 1)
+		if e.op.Seq < victim {
+			break
+		}
+		if e.newP != regfile.PRegNone {
+			c.rf.SetMapping(e.op.Dst, e.oldP)
+			c.rf.Release(e.newP)
+			c.acct.Inc(c.hRAT, energy.Write, 1)
+		}
+		c.n--
+	}
+	if c.lq != nil {
+		c.lq.SquashYoungerThan(victim)
+	}
+	c.sq.SquashYoungerThan(victim)
+	c.sq.ClearAllSentinels()
+	c.fe.Squash(victim, now)
+}
+
+// dispatch renames and inserts up to Width ops into the ROB/IQ.
+func (c *Core) dispatch(now int64) {
+	for k := 0; k < c.cfg.Width; k++ {
+		op := c.fe.Peek(0)
+		if op == nil {
+			return
+		}
+		if c.n >= len(c.rob) || c.iqCount() >= c.cfg.IQSize {
+			return
+		}
+		if op.Class == isa.Store && c.sq.Full() {
+			return
+		}
+		if c.lq != nil && op.Class == isa.Load && c.lq.Full() {
+			return
+		}
+		if op.HasDst() && !c.rf.CanAllocate(op.Dst) {
+			return
+		}
+		c.fe.Pop()
+		e := c.at(c.n)
+		*e = robEntry{
+			op:        op,
+			inIQ:      true,
+			waitStore: lsu.NoSeq,
+			srcP1:     c.rf.Lookup(op.Src1),
+			srcP2:     c.rf.Lookup(op.Src2),
+			newP:      regfile.PRegNone,
+			oldP:      regfile.PRegNone,
+		}
+		c.acct.Inc(c.hRAT, energy.Read, 2)
+		if op.HasDst() {
+			newP, oldP, ok := c.rf.Allocate(op.Dst)
+			if !ok {
+				panic("ooo: allocate failed after CanAllocate")
+			}
+			e.newP, e.oldP = newP, oldP
+			c.acct.Inc(c.hRAT, energy.Write, 1)
+			c.acct.Inc(c.hFL, energy.Read, 1)
+		}
+		switch op.Class {
+		case isa.Store:
+			c.sq.Dispatch(op.Seq, op.PC)
+			c.ss.StoreDispatched(op.PC, op.Seq)
+			c.acct.Inc(c.hSQ, energy.Write, 1)
+			c.acct.Inc(c.hMDP, energy.Read, 1)
+		case isa.Load:
+			if c.lq != nil {
+				c.lq.Dispatch(op.Seq, op.PC)
+				c.acct.Inc(c.hLQ, energy.Write, 1)
+			}
+			if seq, wait := c.ss.LoadDependence(op.PC); wait {
+				e.waitStore = seq
+			}
+			c.acct.Inc(c.hMDP, energy.Read, 1)
+		}
+		c.acct.Inc(c.hROB, energy.Write, 1)
+		c.acct.Inc(c.hIQ, energy.Write, 1)
+		c.n++
+	}
+}
+
+func (c *Core) iqCount() int {
+	k := 0
+	for i := 0; i < c.n; i++ {
+		if c.at(i).inIQ {
+			k++
+		}
+	}
+	return k
+}

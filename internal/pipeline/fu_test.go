@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"testing"
+
+	"casino/internal/isa"
+)
+
+func TestFUPoolWidth(t *testing.T) {
+	p := DefaultFUPool()
+	if !p.Issue(isa.IntALU, 0) || !p.Issue(isa.IntALU, 0) {
+		t.Fatal("two ALUs should accept two ops")
+	}
+	if p.Issue(isa.IntALU, 0) {
+		t.Error("third ALU op accepted in same cycle")
+	}
+	if !p.CanIssue(isa.IntALU, 1) {
+		t.Error("pipelined ALU not free next cycle")
+	}
+	if !p.Issue(isa.FPAdd, 0) {
+		t.Error("FP unit blocked by ALU usage")
+	}
+}
+
+func TestFUPoolUnpipelinedDivide(t *testing.T) {
+	p := NewFUPool(1, 1, 1)
+	if !p.Issue(isa.IntDiv, 0) {
+		t.Fatal("divide refused")
+	}
+	lat := int64(isa.IntDiv.ExecLatency())
+	if p.CanIssue(isa.IntALU, lat-1) {
+		t.Error("unpipelined divide freed unit early")
+	}
+	if !p.CanIssue(isa.IntALU, lat) {
+		t.Error("unit not freed after divide latency")
+	}
+}
+
+func TestFUPoolAGUSharedByLoadsStores(t *testing.T) {
+	p := DefaultFUPool()
+	if !p.Issue(isa.Load, 0) || !p.Issue(isa.Store, 0) {
+		t.Fatal("two AGUs should accept a load and a store")
+	}
+	if p.Issue(isa.Load, 0) {
+		t.Error("third AGU op accepted")
+	}
+	if p.Issued[isa.FUAGU] != 2 {
+		t.Errorf("AGU issue count = %d", p.Issued[isa.FUAGU])
+	}
+}
+
+func TestFUPoolReset(t *testing.T) {
+	p := DefaultFUPool()
+	p.Issue(isa.FPDiv, 0)
+	p.Reset()
+	if !p.CanIssue(isa.FPAdd, 0) || p.Issued[isa.FUFP] != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestScaledFUPool(t *testing.T) {
+	p := ScaledFUPool(4)
+	n := 0
+	for p.Issue(isa.IntALU, 0) {
+		n++
+	}
+	if n != 4 {
+		t.Errorf("4-wide pool has %d ALUs", n)
+	}
+	p2 := ScaledFUPool(1)
+	n = 0
+	for p2.Issue(isa.IntALU, 0) {
+		n++
+	}
+	if n != 2 {
+		t.Errorf("minimum pool has %d ALUs, want 2", n)
+	}
+}

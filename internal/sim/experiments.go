@@ -1,0 +1,528 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"casino/internal/core"
+	"casino/internal/ino"
+	"casino/internal/ooo"
+	"casino/internal/specino"
+	"casino/internal/stats"
+	"casino/internal/workload"
+)
+
+// Options parameterizes an experiment suite.
+type Options struct {
+	Apps   []string // nil = all 25 profiles
+	Ops    int
+	Warmup int
+	Seed   int64
+}
+
+func (o Options) apps() []string {
+	if len(o.Apps) > 0 {
+		return o.Apps
+	}
+	return workload.Names()
+}
+
+func (o Options) fill(s *Spec) {
+	s.Ops = o.Ops
+	s.Warmup = o.Warmup
+	if s.Warmup == 0 {
+		s.Warmup = DefaultWarmup
+	}
+	s.Seed = o.Seed
+}
+
+// runMatrix executes specs[i] for every app in parallel and returns
+// results indexed [app][i]. It fails fast on the first error.
+func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result, error) {
+	apps := o.apps()
+	type job struct {
+		app string
+		i   int
+		s   Spec
+	}
+	var jobs []job
+	for _, app := range apps {
+		specs := mkSpecs(app)
+		for i, s := range specs {
+			s.Workload = app
+			o.fill(&s)
+			jobs = append(jobs, job{app, i, s})
+		}
+	}
+	out := make(map[string][]Result, len(apps))
+	for _, app := range apps {
+		out[app] = make([]Result, len(mkSpecs(app)))
+	}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, runtime.GOMAXPROCS(0))
+		errs []error
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := Run(j.s)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s[%d]: %w", j.app, j.i, err))
+				return
+			}
+			out[j.app][j.i] = r
+		}(j)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return out, nil
+}
+
+// Table1 renders the machine configurations (the paper's Table I).
+func Table1() *stats.Table {
+	t := stats.NewTable("Parameter", "InO", "CASINO", "OoO")
+	t.AddRow("Core", "2-wide @ 2GHz", "2-wide @ 2GHz", "2-wide @ 2GHz")
+	t.AddRow("Pipeline depth", "7 stages", "9 stages", "9 stages")
+	t.AddRow("Issue queue", "16", "4 (S-IQ) / 12 (IQ)", "16")
+	t.AddRow("Load queue", "-", "-", "16")
+	t.AddRow("Store queue/buffer", "4", "8", "8")
+	t.AddRow("Physical registers", "-", "32 INT, 14 FP", "48 INT, 24 FP")
+	t.AddRow("Instruction window", "4-entry SCB", "32-entry ROB", "32-entry ROB")
+	t.AddRow("Functional units", "2 ALU, 2 FP, 2 AGU", "2 ALU, 2 FP, 2 AGU", "2 ALU, 2 FP, 2 AGU")
+	t.AddRow("Branch predictor", "TAGE 17-bit GHR", "TAGE 17-bit GHR", "TAGE 17-bit GHR")
+	t.AddRow("BTB", "512x4", "512x4", "512x4")
+	t.AddRow("L1I/L1D", "32 KiB 8-way, 4 cyc", "32 KiB 8-way, 4 cyc", "32 KiB 8-way, 4 cyc")
+	t.AddRow("L2", "1 MiB 16-way, 11 cyc + stride prefetch", "same", "same")
+	t.AddRow("DRAM", "DDR4-2400, 1 ch/1 rank/16 banks", "same", "same")
+	return t
+}
+
+// Fig2 reproduces Figure 2: the SpecInO limit study. Returns the table and
+// the geomean normalized IPC per scheduling model.
+func Fig2(o Options) (*stats.Table, map[string]float64, error) {
+	ws := func(w, so int, nonMem bool) *specino.Config {
+		c := specino.DefaultConfig(w, so)
+		c.NonMemOnly = nonMem
+		return &c
+	}
+	names := []string{"InO", "SpecInO[2,2] Non-mem", "SpecInO[2,2] All",
+		"SpecInO[2,1] Non-mem", "SpecInO[2,1] All", "OoO"}
+	res, err := runMatrix(o, func(string) []Spec {
+		return []Spec{
+			{Model: ModelInO},
+			{Model: ModelSpecInO, SpecInOCfg: ws(2, 2, true)},
+			{Model: ModelSpecInO, SpecInOCfg: ws(2, 2, false)},
+			{Model: ModelSpecInO, SpecInOCfg: ws(2, 1, true)},
+			{Model: ModelSpecInO, SpecInOCfg: ws(2, 1, false)},
+			{Model: ModelOoO},
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return normalizedIPCTable(o, names, res)
+}
+
+// Fig6 reproduces Figure 6: IPC of LSC, Freeway, CASINO and OoO normalized
+// to InO, per application plus geomean.
+func Fig6(o Options) (*stats.Table, map[string]float64, error) {
+	names := []string{"InO", "LSC", "Freeway", "CASINO", "OoO"}
+	res, err := runMatrix(o, func(string) []Spec {
+		return []Spec{
+			{Model: ModelInO},
+			{Model: ModelLSC},
+			{Model: ModelFreeway},
+			{Model: ModelCASINO},
+			{Model: ModelOoO},
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return normalizedIPCTable(o, names, res)
+}
+
+// normalizedIPCTable builds a per-app table of IPCs normalized to the
+// first model, appending the geomean row, and returns the geomeans.
+func normalizedIPCTable(o Options, names []string, res map[string][]Result) (*stats.Table, map[string]float64, error) {
+	header := append([]string{"app"}, names...)
+	t := stats.NewTable(header...)
+	perModel := make([][]float64, len(names))
+	for _, app := range o.apps() {
+		rs := res[app]
+		base := rs[0].IPC
+		row := make([]interface{}, 0, len(names)+1)
+		row = append(row, app)
+		for i := range names {
+			norm := stats.Ratio(rs[i].IPC, base)
+			row = append(row, norm)
+			perModel[i] = append(perModel[i], norm)
+		}
+		t.AddRow(row...)
+	}
+	geo := map[string]float64{}
+	geoRow := []interface{}{"geomean"}
+	for i, n := range names {
+		g := stats.Geomean(perModel[i])
+		geo[n] = g
+		geoRow = append(geoRow, g)
+	}
+	t.AddRow(geoRow...)
+	return t, geo, nil
+}
+
+// Fig7Summary carries Figure 7's aggregates.
+type Fig7Summary struct {
+	// Geomean IPC normalized to ConV[32,14], and mean register
+	// allocations per cycle, per renaming scheme.
+	NormIPC     map[string]float64
+	AllocsPerKC map[string]float64 // allocations per 1000 cycles
+	// Issue-rate breakdown for ConD (fractions of committed instructions).
+	SpecMem, SpecNonMem, Mem, NonMem float64
+}
+
+// Fig7 reproduces Figure 7: conventional vs conditional renaming.
+func Fig7(o Options) (*stats.Table, Fig7Summary, error) {
+	conv := func(intN, fpN int) *core.Config {
+		c := core.DefaultConfig()
+		c.Renaming = core.RenameConventional
+		c.IntPRF, c.FPPRF = intN, fpN
+		return &c
+	}
+	cond := core.DefaultConfig()
+	names := []string{"ConV[32,14]", "ConD[32,14]", "ConV[48,24]"}
+	res, err := runMatrix(o, func(string) []Spec {
+		return []Spec{
+			{Model: ModelCASINO, CasinoCfg: conv(32, 14)},
+			{Model: ModelCASINO, CasinoCfg: &cond},
+			{Model: ModelCASINO, CasinoCfg: conv(48, 24)},
+		}
+	})
+	if err != nil {
+		return nil, Fig7Summary{}, err
+	}
+	t := stats.NewTable("app", "ConV[32,14] IPC", "ConD[32,14] IPC", "ConV[48,24] IPC",
+		"ConV allocs/kc", "ConD allocs/kc")
+	sum := Fig7Summary{NormIPC: map[string]float64{}, AllocsPerKC: map[string]float64{}}
+	perModel := make([][]float64, 3)
+	allocs := make([][]float64, 3)
+	var sm, snm, m, nm, tot float64
+	for _, app := range o.apps() {
+		rs := res[app]
+		base := rs[0].IPC
+		row := []interface{}{app}
+		for i := 0; i < 3; i++ {
+			row = append(row, rs[i].IPC)
+			perModel[i] = append(perModel[i], stats.Ratio(rs[i].IPC, base))
+			allocs[i] = append(allocs[i], 1000*stats.Ratio(rs[i].Extra["regAllocs"], float64(rs[i].Cycles)))
+		}
+		row = append(row, 1000*stats.Ratio(rs[0].Extra["regAllocs"], float64(rs[0].Cycles)))
+		row = append(row, 1000*stats.Ratio(rs[1].Extra["regAllocs"], float64(rs[1].Cycles)))
+		t.AddRow(row...)
+		sm += rs[1].Extra["siqMem"]
+		snm += rs[1].Extra["siqNonMem"]
+		m += rs[1].Extra["iqMem"]
+		nm += rs[1].Extra["iqNonMem"]
+	}
+	tot = sm + snm + m + nm // fractions of all issues (warm-up included)
+	for i, n := range names {
+		sum.NormIPC[n] = stats.Geomean(perModel[i])
+		sum.AllocsPerKC[n] = stats.Mean(allocs[i])
+	}
+	if tot > 0 {
+		sum.SpecMem, sum.SpecNonMem, sum.Mem, sum.NonMem = sm/tot, snm/tot, m/tot, nm/tot
+	}
+	return t, sum, nil
+}
+
+// Fig8Summary carries Figure 8's aggregates, normalized to the fully-OoO
+// (16-entry LQ) baseline.
+type Fig8Summary struct {
+	// Activity counts per 1k instructions.
+	LQReads, LQWrites, LQSearches map[string]float64
+	SQSearches                    map[string]float64
+	// Geomean IPC and energy efficiency normalized to Fully OoO.
+	NormIPC, NormEff map[string]float64
+}
+
+// Fig8 reproduces Figure 8: memory disambiguation schemes.
+func Fig8(o Options) (*stats.Table, Fig8Summary, error) {
+	casino := func(d core.DisambigMode, osca int) *core.Config {
+		c := core.DefaultConfig()
+		c.Disambig = d
+		c.OSCASize = osca
+		return &c
+	}
+	names := []string{"FullyOoO-LQ", "AGI-Ordering", "NoLQ", "NoLQ+OSCA"}
+	res, err := runMatrix(o, func(string) []Spec {
+		return []Spec{
+			// The baseline is CASINO with a conventional 16-entry LQ
+			// (§VI-C: "Fully OoO with 16-entry LQ").
+			{Model: ModelCASINO, CasinoCfg: casino(core.DisambigFullLQ, 0)},
+			{Model: ModelCASINO, CasinoCfg: casino(core.DisambigAGIOrder, 0)},
+			{Model: ModelCASINO, CasinoCfg: casino(core.DisambigNoLQ, 0)},
+			{Model: ModelCASINO, CasinoCfg: casino(core.DisambigOSCA, 64)},
+		}
+	})
+	if err != nil {
+		return nil, Fig8Summary{}, err
+	}
+	sum := Fig8Summary{
+		LQReads: map[string]float64{}, LQWrites: map[string]float64{}, LQSearches: map[string]float64{},
+		SQSearches: map[string]float64{}, NormIPC: map[string]float64{}, NormEff: map[string]float64{},
+	}
+	t := stats.NewTable("scheme", "LQ R/ki", "LQ W/ki", "LQ S/ki", "SQ S/ki", "norm IPC", "norm perf/energy")
+	perIPC := make([][]float64, len(names))
+	perEff := make([][]float64, len(names))
+	agg := make([]map[string]float64, len(names))
+	for i := range agg {
+		agg[i] = map[string]float64{}
+	}
+	var instr float64
+	for _, app := range o.apps() {
+		rs := res[app]
+		for i := range names {
+			agg[i]["lqR"] += rs[i].Extra["lqReads"]
+			agg[i]["lqW"] += rs[i].Extra["lqWrites"]
+			agg[i]["lqS"] += rs[i].Extra["lqSearches"]
+			agg[i]["sqS"] += rs[i].Extra["sqSearches"]
+			perIPC[i] = append(perIPC[i], stats.Ratio(rs[i].IPC, rs[0].IPC))
+			perEff[i] = append(perEff[i], stats.Ratio(rs[i].PerfPerEnergy, rs[0].PerfPerEnergy))
+		}
+		instr += float64(rs[0].Instructions)
+	}
+	for i, n := range names {
+		ki := instr / 1000
+		sum.LQReads[n] = stats.Ratio(agg[i]["lqR"], ki)
+		sum.LQWrites[n] = stats.Ratio(agg[i]["lqW"], ki)
+		sum.LQSearches[n] = stats.Ratio(agg[i]["lqS"], ki)
+		sum.SQSearches[n] = stats.Ratio(agg[i]["sqS"], ki)
+		sum.NormIPC[n] = stats.Geomean(perIPC[i])
+		sum.NormEff[n] = stats.Geomean(perEff[i])
+		t.AddRow(n, sum.LQReads[n], sum.LQWrites[n], sum.LQSearches[n], sum.SQSearches[n],
+			sum.NormIPC[n], sum.NormEff[n])
+	}
+	return t, sum, nil
+}
+
+// Fig9Summary carries Figure 9's aggregates normalized to InO.
+type Fig9Summary struct {
+	NormArea   map[string]float64
+	NormEnergy map[string]float64
+}
+
+// Fig9 reproduces Figure 9: core area and energy consumption for InO,
+// CASINO, OoO and OoO+NoLQ.
+func Fig9(o Options) (*stats.Table, Fig9Summary, error) {
+	names := []string{"InO", "CASINO", "OoO", "OoO+NoLQ"}
+	res, err := runMatrix(o, func(string) []Spec {
+		return []Spec{
+			{Model: ModelInO},
+			{Model: ModelCASINO},
+			{Model: ModelOoO},
+			{Model: ModelOoONoLQ},
+		}
+	})
+	if err != nil {
+		return nil, Fig9Summary{}, err
+	}
+	sum := Fig9Summary{NormArea: map[string]float64{}, NormEnergy: map[string]float64{}}
+	energyTot := make([]float64, len(names))
+	var area [4]float64
+	for _, app := range o.apps() {
+		for i := range names {
+			energyTot[i] += res[app][i].TotalPJ
+			area[i] = res[app][i].AreaMM2
+		}
+	}
+	t := stats.NewTable("core", "area mm2", "norm area", "norm energy")
+	for i, n := range names {
+		sum.NormArea[n] = stats.Ratio(area[i], area[0])
+		sum.NormEnergy[n] = stats.Ratio(energyTot[i], energyTot[0])
+		t.AddRow(n, area[i], sum.NormArea[n], sum.NormEnergy[n])
+	}
+	return t, sum, nil
+}
+
+// Fig10a reproduces Figure 10a: IQ size sweep with the committed-issue
+// breakdown (S-Issue vs Issue). Returns size -> (normIPC, sIssueFrac).
+func Fig10a(o Options, sizes []int) (*stats.Table, map[int][2]float64, error) {
+	if len(sizes) == 0 {
+		sizes = []int{4, 8, 12, 16, 20}
+	}
+	res, err := runMatrix(o, func(string) []Spec {
+		specs := make([]Spec, len(sizes))
+		for i, sz := range sizes {
+			cfg := core.DefaultConfig()
+			cfg.IQSize = sz
+			// "Unlimited other resources" for the sweep.
+			cfg.ROBSize = 256
+			cfg.SQSize = 64
+			cfg.IntPRF, cfg.FPPRF = 256, 128
+			cfg.DataBufSize = 64
+			specs[i] = Spec{Model: ModelCASINO, CasinoCfg: &cfg}
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[int][2]float64{}
+	t := stats.NewTable("IQ size", "norm IPC", "S-Issue frac")
+	var baseIPC []float64
+	for _, app := range o.apps() {
+		baseIPC = append(baseIPC, res[app][0].IPC)
+	}
+	_ = baseIPC
+	for i, sz := range sizes {
+		var norm, sfrac []float64
+		for _, app := range o.apps() {
+			norm = append(norm, stats.Ratio(res[app][i].IPC, res[app][0].IPC))
+			sfrac = append(sfrac, res[app][i].Extra["siqFrac"])
+		}
+		g := stats.Geomean(norm)
+		f := stats.Mean(sfrac)
+		out[sz] = [2]float64{g, f}
+		t.AddRow(sz, g, f)
+	}
+	return t, out, nil
+}
+
+// Fig10b reproduces Figure 10b: the SpecInO[WS,SO] sweep on the CASINO
+// core. Returns "[w,s]" -> geomean IPC normalized to [1,1].
+func Fig10b(o Options) (*stats.Table, map[string]float64, error) {
+	type pt struct{ ws, so int }
+	pts := []pt{{1, 1}, {2, 1}, {2, 2}, {3, 1}, {3, 2}, {4, 1}, {4, 2}, {4, 4}}
+	res, err := runMatrix(o, func(string) []Spec {
+		specs := make([]Spec, len(pts))
+		for i, p := range pts {
+			cfg := core.DefaultConfig()
+			cfg.WS, cfg.SO = p.ws, p.so
+			specs[i] = Spec{Model: ModelCASINO, CasinoCfg: &cfg}
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[string]float64{}
+	t := stats.NewTable("[WS,SO]", "geomean IPC norm to [1,1]")
+	for i, p := range pts {
+		var norm []float64
+		for _, app := range o.apps() {
+			norm = append(norm, stats.Ratio(res[app][i].IPC, res[app][0].IPC))
+		}
+		key := fmt.Sprintf("[%d,%d]", p.ws, p.so)
+		out[key] = stats.Geomean(norm)
+		t.AddRow(key, out[key])
+	}
+	return t, out, nil
+}
+
+// Fig11Summary holds per-width normalized performance and efficiency.
+type Fig11Summary struct {
+	// NormIPC and NormEff are indexed [model][width]; normalized to the
+	// 2-wide InO.
+	NormIPC map[string]map[int]float64
+	NormEff map[string]map[int]float64
+}
+
+// Fig11 reproduces Figure 11: 2/3/4-wide InO, CASINO and OoO.
+func Fig11(o Options) (*stats.Table, Fig11Summary, error) {
+	widths := []int{2, 3, 4}
+	mkInO := func(w int) *ino.Config {
+		c := ino.DefaultConfig()
+		scale := 1
+		if w == 3 {
+			scale = 2
+		}
+		if w >= 4 {
+			scale = 4
+		}
+		c.Width = w
+		c.IQSize *= scale
+		c.SCBSize *= scale
+		c.SBSize *= scale
+		return &c
+	}
+	var specs []Spec
+	var labels []string
+	for _, w := range widths {
+		ic := mkInO(w)
+		cc := core.WideConfig(w)
+		oc := ooo.WideConfig(w)
+		specs = append(specs,
+			Spec{Model: ModelInO, InOCfg: ic},
+			Spec{Model: ModelCASINO, CasinoCfg: &cc},
+			Spec{Model: ModelOoO, OoOCfg: &oc},
+		)
+		labels = append(labels,
+			fmt.Sprintf("InO-%dw", w), fmt.Sprintf("CASINO-%dw", w), fmt.Sprintf("OoO-%dw", w))
+	}
+	res, err := runMatrix(o, func(string) []Spec { return specs })
+	if err != nil {
+		return nil, Fig11Summary{}, err
+	}
+	sum := Fig11Summary{NormIPC: map[string]map[int]float64{}, NormEff: map[string]map[int]float64{}}
+	for _, m := range []string{"InO", "CASINO", "OoO"} {
+		sum.NormIPC[m] = map[int]float64{}
+		sum.NormEff[m] = map[int]float64{}
+	}
+	t := stats.NewTable("config", "norm IPC", "norm perf/energy")
+	for i, lbl := range labels {
+		var nIPC, nEff []float64
+		for _, app := range o.apps() {
+			base := res[app][0] // 2-wide InO
+			nIPC = append(nIPC, stats.Ratio(res[app][i].IPC, base.IPC))
+			nEff = append(nEff, stats.Ratio(res[app][i].PerfPerEnergy, base.PerfPerEnergy))
+		}
+		gI, gE := stats.Geomean(nIPC), stats.Geomean(nEff)
+		model := []string{"InO", "CASINO", "OoO"}[i%3]
+		width := widths[i/3]
+		sum.NormIPC[model][width] = gI
+		sum.NormEff[model][width] = gE
+		t.AddRow(lbl, gI, gE)
+	}
+	return t, sum, nil
+}
+
+// SectionStats reports the §II-C / §VI-B aggregate statistics: the
+// fraction of dynamic instructions issued speculatively, and the mean
+// producer distance of passed instructions.
+func SectionStats(o Options) (*stats.Table, map[string]float64, error) {
+	res, err := runMatrix(o, func(string) []Spec {
+		return []Spec{
+			{Model: ModelCASINO},
+			{Model: ModelSpecInO},
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var siq, dist, specFrac []float64
+	t := stats.NewTable("app", "CASINO S-IQ frac", "producer dist", "SpecInO OoO frac")
+	for _, app := range o.apps() {
+		rs := res[app]
+		siq = append(siq, rs[0].Extra["siqFrac"])
+		dist = append(dist, rs[0].Extra["producerDist"])
+		specFrac = append(specFrac, rs[1].Extra["oooFrac"])
+		t.AddRow(app, rs[0].Extra["siqFrac"], rs[0].Extra["producerDist"], rs[1].Extra["oooFrac"])
+	}
+	out := map[string]float64{
+		"casinoSIQFrac":  stats.Mean(siq),
+		"producerDist":   stats.Mean(dist),
+		"specInOOoOFrac": stats.Mean(specFrac),
+	}
+	t.AddRow("mean", out["casinoSIQFrac"], out["producerDist"], out["specInOOoOFrac"])
+	return t, out, nil
+}

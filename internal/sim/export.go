@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SuiteResult is the machine-readable form of one experiment suite run:
+// the raw per-app results for every spec, keyed by model label. Written by
+// ExportJSON for downstream plotting/diffing.
+type SuiteResult struct {
+	Figure  string              `json:"figure"`
+	Options Options             `json:"options"`
+	Results map[string][]Result `json:"results"` // app -> per-spec results
+	Labels  []string            `json:"labels"`  // spec labels, same order
+}
+
+// RunSuiteJSON executes the figure's underlying run matrix and returns the
+// raw results for external consumption (plotting scripts, regression
+// diffing). Supported figures: fig2, fig6 (the per-app IPC suites).
+func RunSuiteJSON(fig string, o Options) (*SuiteResult, error) {
+	var labels []string
+	var mk func(string) []Spec
+	switch fig {
+	case "fig2":
+		labels = []string{"InO", "SpecInO[2,2]nm", "SpecInO[2,2]", "SpecInO[2,1]nm", "SpecInO[2,1]", "OoO"}
+		mk = func(string) []Spec {
+			mkc := func(w, so int, nm bool) Spec {
+				c := DefaultSpecInO(w, so)
+				c.NonMemOnly = nm
+				return Spec{Model: ModelSpecInO, SpecInOCfg: &c}
+			}
+			return []Spec{{Model: ModelInO}, mkc(2, 2, true), mkc(2, 2, false), mkc(2, 1, true), mkc(2, 1, false), {Model: ModelOoO}}
+		}
+	case "fig6":
+		labels = []string{"InO", "LSC", "Freeway", "CASINO", "OoO"}
+		mk = func(string) []Spec {
+			return []Spec{
+				{Model: ModelInO}, {Model: ModelLSC}, {Model: ModelFreeway},
+				{Model: ModelCASINO}, {Model: ModelOoO},
+			}
+		}
+	default:
+		return nil, errUnknownSuite(fig)
+	}
+	res, err := runMatrix(o, mk)
+	if err != nil {
+		return nil, err
+	}
+	return &SuiteResult{Figure: fig, Options: o, Results: res, Labels: labels}, nil
+}
+
+type errUnknownSuite string
+
+func (e errUnknownSuite) Error() string {
+	return "sim: no JSON suite for figure " + string(e) + " (supported: fig2, fig6)"
+}
+
+// ExportJSON writes the suite result as indented JSON.
+func (s *SuiteResult) ExportJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunSuiteJSON(t *testing.T) {
+	o := Options{Apps: []string{"libquantum"}, Ops: 4000, Warmup: 1000, Seed: 1}
+	s, err := RunSuiteJSON("fig6", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Labels) != 5 || len(s.Results["libquantum"]) != 5 {
+		t.Fatalf("suite shape wrong: %d labels, %d results", len(s.Labels), len(s.Results["libquantum"]))
+	}
+	var buf bytes.Buffer
+	if err := s.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back SuiteResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Figure != "fig6" || back.Results["libquantum"][0].IPC <= 0 {
+		t.Error("round-tripped suite lost data")
+	}
+}
+
+func TestRunSuiteJSONFig2(t *testing.T) {
+	o := Options{Apps: []string{"gcc"}, Ops: 3000, Warmup: 500, Seed: 1}
+	s, err := RunSuiteJSON("fig2", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Labels) != 6 {
+		t.Errorf("fig2 labels: %v", s.Labels)
+	}
+}
+
+func TestRunSuiteJSONUnknown(t *testing.T) {
+	if _, err := RunSuiteJSON("fig9", Options{}); err == nil {
+		t.Error("unsupported suite accepted")
+	}
+}

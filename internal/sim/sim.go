@@ -1,0 +1,299 @@
+// Package sim is the experiment harness: it builds any of the repository's
+// core models over a generated workload, runs a warm-up window followed by
+// a measurement window, and collects timing, energy and activity results.
+// The per-figure experiment drivers in experiments.go regenerate every
+// table and figure of the paper's evaluation.
+package sim
+
+import (
+	"fmt"
+
+	"casino/internal/core"
+	"casino/internal/energy"
+	"casino/internal/ino"
+	"casino/internal/mem"
+	"casino/internal/ooo"
+	"casino/internal/slice"
+	"casino/internal/specino"
+	"casino/internal/trace"
+	"casino/internal/workload"
+)
+
+// Model names accepted by Spec.Model.
+const (
+	ModelInO     = "ino"
+	ModelOoO     = "ooo"
+	ModelOoONoLQ = "ooo-nolq"
+	ModelCASINO  = "casino"
+	ModelLSC     = "lsc"
+	ModelFreeway = "freeway"
+	ModelSpecInO = "specino"
+)
+
+// DefaultSpecInO returns the SpecInO[ws,so] limit-study configuration
+// (convenience re-export for suite builders).
+func DefaultSpecInO(ws, so int) specino.Config { return specino.DefaultConfig(ws, so) }
+
+// Models lists every runnable model name.
+func Models() []string {
+	return []string{ModelInO, ModelOoO, ModelOoONoLQ, ModelCASINO, ModelLSC, ModelFreeway, ModelSpecInO}
+}
+
+// Core is the clock-steppable interface every model implements.
+type Core interface {
+	Cycle()
+	Now() int64
+	Committed() uint64
+	Done() bool
+}
+
+// Spec describes one run.
+type Spec struct {
+	Model    string
+	Workload string
+	Ops      int // measured instructions
+	Warmup   int // instructions before measurement starts
+	Seed     int64
+
+	// Optional per-model configuration overrides (nil = Table I default).
+	CasinoCfg  *core.Config
+	OoOCfg     *ooo.Config
+	InOCfg     *ino.Config
+	SliceCfg   *slice.Config
+	SpecInOCfg *specino.Config
+	MemCfg     *mem.Config
+
+	// Reuse a pre-generated trace (takes precedence over Workload/Seed).
+	Trace *trace.Trace
+}
+
+// Result is the outcome of one measured run.
+type Result struct {
+	Model        string
+	Workload     string
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	DynamicPJ float64
+	StaticPJ  float64
+	TotalPJ   float64
+	AreaMM2   float64
+	// EnergyPerInst is pJ per committed instruction.
+	EnergyPerInst float64
+	// PerfPerEnergy is the paper's energy-efficiency metric
+	// (performance/energy): IPC per nJ-per-instruction.
+	PerfPerEnergy float64
+
+	Extra map[string]float64
+
+	// EnergyParts and AreaParts break the totals down per structure /
+	// fixed block (the data behind the paper's stacked bars in Fig. 9).
+	EnergyParts map[string]float64
+	AreaParts   map[string]float64
+}
+
+// DefaultOps and DefaultWarmup scale the paper's 300M-SimPoint regions to
+// laptop runtimes; the reported shapes are stable above ~50k measured ops.
+const (
+	DefaultOps    = 60000
+	DefaultWarmup = 15000
+)
+
+// Run executes one spec and returns its result.
+func Run(s Spec) (Result, error) {
+	if s.Ops <= 0 {
+		s.Ops = DefaultOps
+	}
+	if s.Warmup < 0 {
+		s.Warmup = 0
+	}
+	tr := s.Trace
+	if tr == nil {
+		p, err := workload.ByName(s.Workload)
+		if err != nil {
+			return Result{}, err
+		}
+		tr = workload.Generate(p, s.Warmup+s.Ops, s.Seed)
+	}
+	memCfg := mem.DefaultConfig()
+	if s.MemCfg != nil {
+		memCfg = *s.MemCfg
+	}
+	hier := mem.NewHierarchy(memCfg)
+	acct := energy.NewAccountant()
+
+	c, extra, err := build(s, tr, hier, acct)
+	if err != nil {
+		return Result{}, err
+	}
+
+	target := uint64(s.Warmup + s.Ops)
+	if target > uint64(tr.Len()) {
+		target = uint64(tr.Len())
+	}
+	warm := uint64(s.Warmup)
+	if warm > target {
+		warm = target
+	}
+
+	var cyc0 int64
+	var dyn0 float64
+	snapped := warm == 0
+	if snapped {
+		dyn0 = acct.DynamicEnergy()
+	}
+	const cycleCap = 400_000_000
+	for c.Now() < cycleCap && !c.Done() && c.Committed() < target {
+		if !snapped && c.Committed() >= warm {
+			cyc0 = c.Now()
+			dyn0 = acct.DynamicEnergy()
+			snapped = true
+		}
+		c.Cycle()
+	}
+	if !snapped {
+		cyc0 = c.Now()
+		dyn0 = acct.DynamicEnergy()
+	}
+	if c.Committed() < target && !c.Done() {
+		return Result{}, fmt.Errorf("sim: %s/%s exceeded cycle cap at %d committed", s.Model, tr.Name, c.Committed())
+	}
+
+	cycles := uint64(c.Now() - cyc0)
+	instrs := c.Committed() - warm
+	dyn := acct.DynamicEnergy() - dyn0
+	static := acct.StaticEnergyOver(cycles)
+	res := Result{
+		Model:        s.Model,
+		Workload:     tr.Name,
+		Instructions: instrs,
+		Cycles:       cycles,
+		DynamicPJ:    dyn,
+		StaticPJ:     static,
+		TotalPJ:      dyn + static,
+		AreaMM2:      acct.Area(),
+		Extra:        extra(),
+		EnergyParts:  acct.EnergyBreakdown(),
+		AreaParts:    acct.AreaBreakdown(),
+	}
+	if cycles > 0 {
+		res.IPC = float64(instrs) / float64(cycles)
+	}
+	if instrs > 0 {
+		res.EnergyPerInst = res.TotalPJ / float64(instrs)
+	}
+	if res.EnergyPerInst > 0 {
+		res.PerfPerEnergy = res.IPC / (res.EnergyPerInst / 1000) // IPC per nJ/inst
+	}
+	return res, nil
+}
+
+// build constructs the model and returns it plus a closure harvesting
+// model-specific statistics after the run.
+func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) (Core, func() map[string]float64, error) {
+	switch s.Model {
+	case ModelInO:
+		cfg := ino.DefaultConfig()
+		if s.InOCfg != nil {
+			cfg = *s.InOCfg
+		}
+		c := ino.New(cfg, tr, hier, acct)
+		return c, func() map[string]float64 {
+			return map[string]float64{
+				"mispredicts": float64(c.Mispredicts()),
+				"forwards":    float64(c.LoadsForwarded),
+			}
+		}, nil
+	case ModelOoO, ModelOoONoLQ:
+		cfg := ooo.DefaultConfig()
+		if s.OoOCfg != nil {
+			cfg = *s.OoOCfg
+		}
+		if s.Model == ModelOoONoLQ {
+			cfg.NoLQ = true
+		}
+		c := ooo.New(cfg, tr, hier, acct)
+		return c, func() map[string]float64 {
+			return map[string]float64{
+				"mispredicts": float64(c.Mispredicts()),
+				"violations":  float64(c.Violations),
+				"forwards":    float64(c.LoadsForwarded),
+				"lqReads":     float64(acct.CountByName("LQ", energy.Read)),
+				"lqWrites":    float64(acct.CountByName("LQ", energy.Write)),
+				"lqSearches":  float64(acct.CountByName("LQ", energy.Search)),
+				"sqSearches":  float64(acct.CountByName("SQ", energy.Search)),
+			}
+		}, nil
+	case ModelCASINO:
+		cfg := core.DefaultConfig()
+		if s.CasinoCfg != nil {
+			cfg = *s.CasinoCfg
+		}
+		c := core.New(cfg, tr, hier, acct)
+		return c, func() map[string]float64 {
+			total := float64(c.IssuedSIQMem + c.IssuedSIQNonMem + c.IssuedIQMem + c.IssuedIQNonMem)
+			ex := map[string]float64{
+				"mispredicts":  float64(c.Mispredicts()),
+				"violations":   float64(c.Violations),
+				"regAllocs":    float64(c.RegAllocs()),
+				"sqSearches":   float64(c.StoreQueue().Searches),
+				"lqReads":      float64(acct.CountByName("LQ", energy.Read)),
+				"lqWrites":     float64(acct.CountByName("LQ", energy.Write)),
+				"lqSearches":   float64(acct.CountByName("LQ", energy.Search)),
+				"siqMem":       float64(c.IssuedSIQMem),
+				"siqNonMem":    float64(c.IssuedSIQNonMem),
+				"iqMem":        float64(c.IssuedIQMem),
+				"iqNonMem":     float64(c.IssuedIQNonMem),
+				"producerDist": c.ProducerDist.Mean(),
+			}
+			if total > 0 {
+				ex["siqFrac"] = float64(c.IssuedSIQMem+c.IssuedSIQNonMem) / total
+			}
+			if o := c.OSCA(); o != nil {
+				ex["oscaLookups"] = float64(o.Lookups)
+				ex["oscaSkips"] = float64(o.Skips)
+			}
+			set, cleared, _ := c.LineSentinels()
+			ex["lineSentinelsSet"] = float64(set)
+			ex["lineSentinelsCleared"] = float64(cleared)
+			invals, withheld, delay := c.RemoteStats()
+			ex["remoteInvals"] = float64(invals)
+			ex["remoteWithheld"] = float64(withheld)
+			ex["remoteDelayCyc"] = float64(delay)
+			return ex
+		}, nil
+	case ModelLSC, ModelFreeway:
+		kind := slice.LSC
+		if s.Model == ModelFreeway {
+			kind = slice.Freeway
+		}
+		cfg := slice.DefaultConfig(kind)
+		if s.SliceCfg != nil {
+			cfg = *s.SliceCfg
+		}
+		c := slice.New(cfg, tr, hier, acct)
+		return c, func() map[string]float64 {
+			return map[string]float64{
+				"mispredicts": float64(c.Mispredicts()),
+				"sliceOps":    float64(c.SliceOps),
+				"yieldedOps":  float64(c.YieldedOps),
+			}
+		}, nil
+	case ModelSpecInO:
+		cfg := specino.DefaultConfig(2, 1)
+		if s.SpecInOCfg != nil {
+			cfg = *s.SpecInOCfg
+		}
+		c := specino.New(cfg, tr, hier, acct)
+		return c, func() map[string]float64 {
+			return map[string]float64{
+				"specFrac":   c.SpecFraction(),
+				"oooFrac":    c.OoOFraction(),
+				"specIssued": float64(c.SpecIssued),
+			}
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown model %q (known: %v)", s.Model, Models())
+	}
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func small() Options {
+	return Options{
+		Apps:   []string{"libquantum", "gcc", "h264ref"},
+		Ops:    8000,
+		Warmup: 2000,
+		Seed:   1,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	r, err := Run(Spec{Model: ModelInO, Workload: "gcc", Ops: 5000, Warmup: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != 5000 {
+		t.Errorf("instructions = %d", r.Instructions)
+	}
+	if r.IPC <= 0 || r.Cycles == 0 {
+		t.Errorf("IPC=%v cycles=%d", r.IPC, r.Cycles)
+	}
+	if r.TotalPJ <= 0 || r.AreaMM2 <= 0 || r.EnergyPerInst <= 0 || r.PerfPerEnergy <= 0 {
+		t.Errorf("energy fields: %+v", r)
+	}
+}
+
+func TestRunAllModels(t *testing.T) {
+	for _, m := range Models() {
+		r, err := Run(Spec{Model: m, Workload: "gcc", Ops: 4000, Warmup: 1000, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if r.IPC <= 0 {
+			t.Errorf("%s: IPC %v", m, r.IPC)
+		}
+		if r.Extra == nil {
+			t.Errorf("%s: no extra stats", m)
+		}
+	}
+}
+
+func TestRunUnknownModel(t *testing.T) {
+	if _, err := Run(Spec{Model: "vliw", Workload: "gcc"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(Spec{Model: ModelInO, Workload: "doom"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	s := Spec{Model: ModelCASINO, Workload: "milc", Ops: 5000, Warmup: 1000, Seed: 7}
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b.IPC || a.Cycles != b.Cycles || a.TotalPJ != b.TotalPJ {
+		t.Error("nondeterministic Run")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	s := Table1().String()
+	for _, frag := range []string{"S-IQ", "TAGE", "DDR4", "32-entry ROB"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Table1 missing %q", frag)
+		}
+	}
+}
+
+func TestFig6SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model suite")
+	}
+	tb, geo, err := Fig6(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 4 { // 3 apps + geomean
+		t.Errorf("rows = %d", tb.NumRows())
+	}
+	if geo["InO"] != 1.0 {
+		t.Errorf("InO norm = %v", geo["InO"])
+	}
+	// Paper shape: InO < LSC <= Freeway < CASINO < OoO-ish ordering on an
+	// MLP-rich mini-suite (allow small reorderings except the endpoints).
+	if geo["CASINO"] <= 1.0 {
+		t.Errorf("CASINO %v <= InO", geo["CASINO"])
+	}
+	if geo["OoO"] <= 1.0 {
+		t.Errorf("OoO %v <= InO", geo["OoO"])
+	}
+	if geo["LSC"] < 0.95 {
+		t.Errorf("LSC %v implausibly below InO", geo["LSC"])
+	}
+}
+
+func TestFig2SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model suite")
+	}
+	_, geo, err := Fig2(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo["SpecInO[2,1] All"] < geo["SpecInO[2,1] Non-mem"] {
+		t.Errorf("All-types %v < Non-mem %v", geo["SpecInO[2,1] All"], geo["SpecInO[2,1] Non-mem"])
+	}
+	if geo["OoO"] < geo["SpecInO[2,1] All"]*0.9 {
+		t.Errorf("OoO %v below SpecInO All %v", geo["OoO"], geo["SpecInO[2,1] All"])
+	}
+}
+
+func TestFig7SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model suite")
+	}
+	_, sum, err := Fig7(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.AllocsPerKC["ConD[32,14]"] >= sum.AllocsPerKC["ConV[32,14]"] {
+		t.Errorf("conditional renaming allocates more: %v vs %v",
+			sum.AllocsPerKC["ConD[32,14]"], sum.AllocsPerKC["ConV[32,14]"])
+	}
+	// ConD must be at least roughly on par with ConV at equal PRF size
+	// (the full 25-app suite shows a clear win; this 3-app subset allows
+	// small noise).
+	if sum.NormIPC["ConD[32,14]"] < 0.97 {
+		t.Errorf("ConD materially slower than ConV with equal PRF: %v", sum.NormIPC["ConD[32,14]"])
+	}
+	total := sum.SpecMem + sum.SpecNonMem + sum.Mem + sum.NonMem
+	if total < 0.95 || total > 1.05 {
+		t.Errorf("issue breakdown does not sum to 1: %v", total)
+	}
+}
+
+func TestFig8SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model suite")
+	}
+	_, sum, err := Fig8(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every CASINO scheme eliminates the LQ entirely.
+	for _, scheme := range []string{"AGI-Ordering", "NoLQ", "NoLQ+OSCA"} {
+		if sum.LQSearches[scheme] != 0 || sum.LQReads[scheme] != 0 {
+			t.Errorf("%s still has LQ activity", scheme)
+		}
+	}
+	if sum.LQSearches["FullyOoO-LQ"] == 0 {
+		t.Error("baseline LQ never searched")
+	}
+	// The OSCA must reduce SQ searches vs plain NoLQ.
+	if sum.SQSearches["NoLQ+OSCA"] >= sum.SQSearches["NoLQ"] {
+		t.Errorf("OSCA did not reduce SQ searches: %v vs %v",
+			sum.SQSearches["NoLQ+OSCA"], sum.SQSearches["NoLQ"])
+	}
+	// AGI ordering costs performance vs the speculative schemes.
+	if sum.NormIPC["AGI-Ordering"] > sum.NormIPC["NoLQ+OSCA"] {
+		t.Errorf("AGI ordering unexpectedly fastest: %v vs %v",
+			sum.NormIPC["AGI-Ordering"], sum.NormIPC["NoLQ+OSCA"])
+	}
+}
+
+func TestFig9SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model suite")
+	}
+	_, sum, err := Fig9(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.NormArea["CASINO"] <= 1.0 || sum.NormArea["CASINO"] >= sum.NormArea["OoO"] {
+		t.Errorf("area ordering wrong: CASINO %v OoO %v", sum.NormArea["CASINO"], sum.NormArea["OoO"])
+	}
+	if sum.NormEnergy["CASINO"] >= sum.NormEnergy["OoO"] {
+		t.Errorf("CASINO energy %v >= OoO %v", sum.NormEnergy["CASINO"], sum.NormEnergy["OoO"])
+	}
+	if sum.NormEnergy["OoO+NoLQ"] >= sum.NormEnergy["OoO"] {
+		t.Errorf("NoLQ did not reduce OoO energy: %v vs %v",
+			sum.NormEnergy["OoO+NoLQ"], sum.NormEnergy["OoO"])
+	}
+}
+
+func TestFig10bSmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model suite")
+	}
+	_, pts, err := Fig10b(Options{Apps: []string{"libquantum", "milc"}, Ops: 6000, Warmup: 1500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts["[2,1]"] < 1.0 {
+		t.Errorf("[2,1] below [1,1]: %v", pts["[2,1]"])
+	}
+}
+
+func TestFig11SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model suite")
+	}
+	_, sum, err := Fig11(Options{Apps: []string{"libquantum", "hmmer"}, Ops: 6000, Warmup: 1500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.NormIPC["CASINO"][4] <= sum.NormIPC["CASINO"][2] {
+		t.Errorf("4-wide CASINO (%v) not faster than 2-wide (%v)",
+			sum.NormIPC["CASINO"][4], sum.NormIPC["CASINO"][2])
+	}
+	if sum.NormIPC["OoO"][4] < sum.NormIPC["CASINO"][4]*0.8 {
+		t.Errorf("width scaling shape off: OoO4 %v CASINO4 %v",
+			sum.NormIPC["OoO"][4], sum.NormIPC["CASINO"][4])
+	}
+}
+
+func TestSectionStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model suite")
+	}
+	_, out, err := SectionStats(Options{Apps: []string{"libquantum"}, Ops: 6000, Warmup: 1500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := out["casinoSIQFrac"]; f <= 0.05 || f >= 1 {
+		t.Errorf("S-IQ fraction %v implausible", f)
+	}
+	if f := out["specInOOoOFrac"]; f <= 0.05 || f >= 1 {
+		t.Errorf("SpecInO OoO fraction %v implausible", f)
+	}
+}

@@ -1,0 +1,396 @@
+// Package slice implements the paper's slice-out-of-order comparison
+// points (§VI-A2): the Load Slice Core (LSC) [Carlson et al., ISCA'15] and
+// Freeway [Kumar et al., HPCA'19].
+//
+// Both extend a stall-on-use in-order core with parallel in-order queues.
+// LSC learns backward address-generating slices with IBDA (an instruction
+// slice table trained through a register dependence table) and issues them
+// from a bypass queue (B-IQ) ahead of the main queue (A-IQ), overlapping
+// cache misses. Freeway adds a yielding queue (Y-IQ) for slices dependent
+// on older slices' loads, so the B-IQ never stalls on inter-slice
+// dependences. Memory ordering is conservative (loads wait for older store
+// addresses), so neither core ever violates — matching the papers.
+package slice
+
+import (
+	"casino/internal/bpred"
+	"casino/internal/energy"
+	"casino/internal/frontend"
+	"casino/internal/isa"
+	"casino/internal/lsu"
+	"casino/internal/mem"
+	"casino/internal/pipeline"
+	"casino/internal/trace"
+)
+
+// Kind selects the LSC or Freeway variant.
+type Kind uint8
+
+// Variants.
+const (
+	LSC Kind = iota
+	Freeway
+)
+
+func (k Kind) String() string {
+	if k == LSC {
+		return "LSC"
+	}
+	return "Freeway"
+}
+
+// Config holds slice-core parameters. The paper evaluates both with
+// 32-entry IQs and unlimited other resources.
+type Config struct {
+	Kind       Kind
+	Width      int
+	AQSize     int // main in-order queue
+	BQSize     int // bypass (slice) queue
+	YQSize     int // yielding queue (Freeway only)
+	WindowSize int // in-flight instruction window ("unlimited" = large)
+	SBSize     int
+	ISTSize    int // instruction slice table entries (IBDA)
+	FrontDepth int
+}
+
+// DefaultConfig returns the §VI-A2 configuration for the given kind.
+func DefaultConfig(kind Kind) Config {
+	return Config{
+		Kind: kind, Width: 2, AQSize: 32, BQSize: 32, YQSize: 32,
+		WindowSize: 128, SBSize: 16, ISTSize: 2048, FrontDepth: 5,
+	}
+}
+
+type entry struct {
+	op     *isa.MicroOp
+	issued bool
+	done   int64
+	prod1  *entry // exact producer tracking (scoreboard stand-in)
+	prod2  *entry
+	waw    *entry // older writer of the same register, must issue first
+}
+
+// Core is a slice-out-of-order core (LSC or Freeway).
+type Core struct {
+	cfg  Config
+	now  int64
+	fe   *frontend.FrontEnd
+	hier *mem.Hierarchy
+	fus  *pipeline.FUPool
+	acct *energy.Accountant
+	sb   *lsu.StoreQueue
+
+	aq, bq, yq []*entry
+	window     []*entry // program-ordered in-flight window (commit from head)
+
+	ist        map[uint64]bool         // instruction slice table: PCs in AG slices
+	istOrder   []uint64                // FIFO eviction for the bounded IST
+	rdt        [isa.NumArchRegs]uint64 // register dependence table: last writer PC
+	lastWriter [isa.NumArchRegs]*entry
+
+	committed uint64
+
+	// OnCommit, when non-nil, observes each committed sequence number
+	// (architectural-invariant checking in tests).
+	OnCommit func(seq uint64)
+
+	hAQ, hBQ, hYQ, hIST, hRDT, hSB, hSCB int
+
+	// Statistics.
+	SliceOps   uint64 // ops dispatched to the B-IQ (or Y-IQ)
+	YieldedOps uint64 // ops dispatched to the Y-IQ (Freeway)
+	Forwards   uint64
+}
+
+// New builds a slice core over the trace.
+func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
+	c := &Core{
+		cfg:  cfg,
+		hier: hier,
+		fus:  pipeline.ScaledFUPool(cfg.Width),
+		acct: acct,
+		sb:   lsu.NewStoreQueue(cfg.SBSize),
+		ist:  make(map[uint64]bool, cfg.ISTSize),
+	}
+	c.fe = frontend.New(
+		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
+		tr.Reader(), bpred.NewPredictor(), hier, acct)
+	c.hAQ = acct.Register(energy.Structure{Name: "A-IQ", Entries: cfg.AQSize, Bits: 64, Ports: 2 * cfg.Width})
+	c.hBQ = acct.Register(energy.Structure{Name: "B-IQ", Entries: cfg.BQSize, Bits: 64, Ports: 2 * cfg.Width})
+	if cfg.Kind == Freeway {
+		c.hYQ = acct.Register(energy.Structure{Name: "Y-IQ", Entries: cfg.YQSize, Bits: 64, Ports: 2 * cfg.Width})
+	} else {
+		c.hYQ = -1
+	}
+	c.hIST = acct.Register(energy.Structure{Name: "IST", Entries: cfg.ISTSize, Bits: 2, Ports: 2 * cfg.Width})
+	c.hRDT = acct.Register(energy.Structure{Name: "RDT", Entries: isa.NumArchRegs, Bits: 32, Ports: 2 * cfg.Width})
+	c.hSB = acct.Register(energy.Structure{Name: "SB", Entries: cfg.SBSize, Bits: 112, Ports: 2, CAM: true, TagBits: 40})
+	c.hSCB = acct.Register(energy.Structure{Name: "SCB", Entries: isa.NumArchRegs, Bits: 12, Ports: 3 * cfg.Width})
+	return c
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// Committed returns committed op count.
+func (c *Core) Committed() uint64 { return c.committed }
+
+// Mispredicts returns front-end mispredict count.
+func (c *Core) Mispredicts() uint64 { return c.fe.Mispredicts }
+
+// Done reports pipeline drain.
+func (c *Core) Done() bool {
+	return c.fe.Done() && len(c.window) == 0 && c.sb.Len() == 0
+}
+
+// Cycle advances one clock.
+func (c *Core) Cycle() {
+	now := c.now
+	c.retireStores(now)
+	c.commit(now)
+	c.issue(now)
+	c.dispatch()
+	c.fe.Cycle(now)
+	c.now++
+	c.acct.Cycles++
+}
+
+func (c *Core) retireStores(now int64) {
+	if c.sb.HeadRetirable(now) {
+		e := c.sb.Head()
+		done := c.hier.Store(e.PC, e.Addr, now)
+		c.acct.L1Access++
+		c.sb.StartRetire(done)
+	}
+	c.sb.PopRetired(now)
+}
+
+// commit retires completed instructions in program order.
+func (c *Core) commit(now int64) {
+	for k := 0; k < c.cfg.Width && len(c.window) > 0; k++ {
+		e := c.window[0]
+		if !e.issued || e.done > now {
+			return
+		}
+		if e.op.Class == isa.Store {
+			if c.sb.Full() {
+				return
+			}
+			c.sb.Dispatch(e.op.Seq, e.op.PC)
+			c.sb.Resolve(e.op.Seq, e.op.Addr, e.op.Size, now, e.done)
+			c.sb.Commit(e.op.Seq)
+			c.acct.Inc(c.hSB, energy.Write, 1)
+		}
+		if c.OnCommit != nil {
+			c.OnCommit(e.op.Seq)
+		}
+		c.window = c.window[1:]
+		c.committed++
+	}
+}
+
+// issue serves the queues head-in-order: B-IQ first (slices are critical),
+// then Y-IQ, then A-IQ.
+func (c *Core) issue(now int64) {
+	slots := c.cfg.Width
+	c.issueQueue(&c.bq, c.hBQ, now, &slots)
+	if c.cfg.Kind == Freeway {
+		c.issueQueue(&c.yq, c.hYQ, now, &slots)
+	}
+	c.issueQueue(&c.aq, c.hAQ, now, &slots)
+}
+
+func (c *Core) issueQueue(q *[]*entry, handle int, now int64, slots *int) {
+	for *slots > 0 && len(*q) > 0 {
+		e := (*q)[0]
+		if !c.ready(e, now) {
+			return
+		}
+		if !c.fus.Issue(e.op.Class, now) {
+			return
+		}
+		*q = (*q)[1:]
+		c.acct.Inc(handle, energy.Read, 1)
+		c.execute(e, now)
+		*slots--
+	}
+}
+
+func (c *Core) ready(e *entry, now int64) bool {
+	c.acct.Inc(c.hSCB, energy.Read, 1)
+	for _, p := range [...]*entry{e.prod1, e.prod2, e.waw} {
+		if p != nil && (!p.issued || p.done > now) {
+			return false
+		}
+	}
+	if e.op.Class == isa.Load {
+		// Conservative memory ordering: wait for all older stores to
+		// resolve (slice cores never speculate on memory order).
+		if c.anyOlderUnresolvedStore(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) anyOlderUnresolvedStore(e *entry) bool {
+	for _, w := range c.window {
+		if w == e {
+			return false
+		}
+		if w.op.Class == isa.Store && (!w.issued || w.done > c.now) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) execute(e *entry, now int64) {
+	op := e.op
+	e.issued = true
+	c.countFU(op.Class)
+	switch op.Class {
+	case isa.Load:
+		agu := now + int64(op.Class.ExecLatency())
+		c.acct.Inc(c.hSB, energy.Search, 1)
+		if c.forwardFromStores(op) {
+			c.Forwards++
+			e.done = agu + int64(c.hier.Config().L1Latency)
+		} else {
+			done, _ := c.hier.Load(op.PC, op.Addr, agu)
+			c.acct.L1Access++
+			e.done = done
+		}
+	case isa.Branch:
+		e.done = now + int64(op.Class.ExecLatency())
+		c.fe.BranchResolved(op.Seq, e.done)
+	default:
+		e.done = now + int64(op.Class.ExecLatency())
+	}
+}
+
+func (c *Core) forwardFromStores(op *isa.MicroOp) bool {
+	for _, w := range c.window {
+		if w.op.Seq >= op.Seq {
+			break
+		}
+		if w.op.Class == isa.Store && w.issued && w.op.Overlaps(op) {
+			return true
+		}
+	}
+	res := c.sb.SearchForLoad(op.Seq, op.Addr, op.Size, false)
+	return res.Forward != nil
+}
+
+func (c *Core) countFU(class isa.Class) {
+	switch class.FU() {
+	case isa.FUFP:
+		c.acct.FPOps++
+	case isa.FUAGU:
+		c.acct.AGUOps++
+	default:
+		c.acct.IntOps++
+	}
+}
+
+// dispatch steers decoded ops: IBDA marks backward address-generating
+// slices; marked ops and memory ops go to the B-IQ (or, in Freeway, to the
+// Y-IQ when dependent on an older slice's in-flight load), others to the
+// A-IQ.
+func (c *Core) dispatch() {
+	for k := 0; k < c.cfg.Width; k++ {
+		op := c.fe.Peek(0)
+		if op == nil {
+			return
+		}
+		if len(c.window) >= c.cfg.WindowSize {
+			return
+		}
+		isSlice := op.Class.IsMem() || c.ist[op.PC]
+		c.acct.Inc(c.hIST, energy.Read, 1)
+		target := &c.aq
+		handle := c.hAQ
+		if isSlice {
+			target, handle = &c.bq, c.hBQ
+		}
+		e := &entry{op: op}
+		if op.Src1.Valid() {
+			e.prod1 = c.lastWriter[op.Src1]
+		}
+		if op.Src2.Valid() {
+			e.prod2 = c.lastWriter[op.Src2]
+		}
+		if isSlice && c.cfg.Kind == Freeway && c.dependsOnInFlightSliceLoad(e) {
+			target, handle = &c.yq, c.hYQ
+		}
+		if len(*target) >= c.capOf(target) {
+			return
+		}
+		c.fe.Pop()
+		// IBDA training: mark the producers of this slice op's sources.
+		if isSlice {
+			c.SliceOps++
+			if target == &c.yq {
+				c.YieldedOps++
+			}
+			c.trainIBDA(op)
+		}
+		if op.HasDst() {
+			e.waw = c.lastWriter[op.Dst]
+			c.lastWriter[op.Dst] = e
+			c.rdt[op.Dst] = op.PC
+			c.acct.Inc(c.hRDT, energy.Write, 1)
+		}
+		*target = append(*target, e)
+		c.window = append(c.window, e)
+		c.acct.Inc(handle, energy.Write, 1)
+	}
+}
+
+func (c *Core) capOf(q *[]*entry) int {
+	switch q {
+	case &c.aq:
+		return c.cfg.AQSize
+	case &c.bq:
+		return c.cfg.BQSize
+	default:
+		return c.cfg.YQSize
+	}
+}
+
+// dependsOnInFlightSliceLoad implements Freeway's dependent-slice test:
+// the op consumes a value produced by a load that has not completed.
+func (c *Core) dependsOnInFlightSliceLoad(e *entry) bool {
+	for _, p := range [...]*entry{e.prod1, e.prod2} {
+		if p == nil {
+			continue
+		}
+		if p.op.Class == isa.Load && (!p.issued || p.done > c.now) {
+			return true
+		}
+	}
+	return false
+}
+
+// trainIBDA marks the producers of a slice instruction's source registers
+// in the IST (one backward level per encounter — the "iterative" part).
+func (c *Core) trainIBDA(op *isa.MicroOp) {
+	for _, s := range [...]isa.Reg{op.Src1, op.Src2} {
+		if !s.Valid() {
+			continue
+		}
+		pc := c.rdt[s]
+		c.acct.Inc(c.hRDT, energy.Read, 1)
+		if pc == 0 || c.ist[pc] {
+			continue
+		}
+		if len(c.ist) >= c.cfg.ISTSize {
+			old := c.istOrder[0]
+			c.istOrder = c.istOrder[1:]
+			delete(c.ist, old)
+		}
+		c.ist[pc] = true
+		c.istOrder = append(c.istOrder, pc)
+		c.acct.Inc(c.hIST, energy.Write, 1)
+	}
+}

@@ -1,0 +1,131 @@
+package slice
+
+import (
+	"testing"
+
+	"casino/internal/energy"
+	"casino/internal/ino"
+	"casino/internal/isa"
+	"casino/internal/mem"
+	"casino/internal/trace"
+	"casino/internal/workload"
+)
+
+func runCore(t *testing.T, kind Kind, tr *trace.Trace) *Core {
+	t.Helper()
+	c := New(DefaultConfig(kind), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	for i := 0; i < 50_000_000 && !c.Done(); i++ {
+		c.Cycle()
+	}
+	if !c.Done() {
+		t.Fatalf("%v livelocked: committed=%d", kind, c.Committed())
+	}
+	return c
+}
+
+func TestAllOpsCommitBothKinds(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	tr := workload.Generate(p, 10000, 1)
+	for _, kind := range []Kind{LSC, Freeway} {
+		c := runCore(t, kind, tr)
+		if c.Committed() != uint64(tr.Len()) {
+			t.Errorf("%v: committed %d of %d", kind, c.Committed(), tr.Len())
+		}
+	}
+}
+
+func TestIBDAMarksSlices(t *testing.T) {
+	p, _ := workload.ByName("mcf")
+	tr := workload.Generate(p, 20000, 1)
+	c := runCore(t, LSC, tr)
+	if c.SliceOps == 0 {
+		t.Error("no ops steered to the B-IQ")
+	}
+	if len(c.ist) == 0 {
+		t.Error("IST never trained")
+	}
+	// Address-generating producers (non-memory ops) must eventually be
+	// marked: the IST should contain more PCs than just memory ops touch.
+	if c.SliceOps >= c.Committed() {
+		t.Error("everything became a slice — IBDA too aggressive")
+	}
+}
+
+func TestFreewayUsesYQueue(t *testing.T) {
+	p, _ := workload.ByName("mcf") // dependent slices: chase chains
+	tr := workload.Generate(p, 20000, 1)
+	c := runCore(t, Freeway, tr)
+	if c.YieldedOps == 0 {
+		t.Error("Freeway never used the Y-IQ on a pointer-chase workload")
+	}
+}
+
+func TestSliceCoresBetweenInOAndUnbounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload runs")
+	}
+	// On an MLP-rich workload: InO <= LSC <= Freeway (Freeway fixes LSC's
+	// inter-slice stalls; both must beat InO).
+	p, _ := workload.ByName("mcf")
+	tr := workload.Generate(p, 30000, 1)
+	ic := ino.New(ino.DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	for i := 0; i < 50_000_000 && !ic.Done(); i++ {
+		ic.Cycle()
+	}
+	inoIPC := float64(ic.Committed()) / float64(ic.Now())
+	lsc := runCore(t, LSC, tr)
+	lscIPC := float64(lsc.Committed()) / float64(lsc.Now())
+	fw := runCore(t, Freeway, tr)
+	fwIPC := float64(fw.Committed()) / float64(fw.Now())
+	if lscIPC < inoIPC {
+		t.Errorf("LSC IPC %.3f < InO %.3f", lscIPC, inoIPC)
+	}
+	if fwIPC < lscIPC {
+		t.Errorf("Freeway IPC %.3f < LSC %.3f", fwIPC, lscIPC)
+	}
+}
+
+func TestNoViolationsEver(t *testing.T) {
+	// Slice cores order memory conservatively: the store buffer must never
+	// observe a violation.
+	p, _ := workload.ByName("h264ref")
+	tr := workload.Generate(p, 20000, 1)
+	c := runCore(t, LSC, tr)
+	if c.sb.ViolationsSeen != 0 {
+		t.Errorf("LSC saw %d violations", c.sb.ViolationsSeen)
+	}
+}
+
+func TestSliceLoadsBypassMainQueueStalls(t *testing.T) {
+	// Craft: long FP chain (A-IQ) followed by an independent load; the
+	// load must issue early from the B-IQ.
+	var ops []isa.MicroOp
+	for i := 0; i < 10; i++ {
+		ops = append(ops, isa.MicroOp{Class: isa.FPDiv, Dst: isa.FPReg(0), Src1: isa.FPReg(0), Src2: isa.RegNone})
+	}
+	ops = append(ops, isa.MicroOp{Class: isa.Load, Dst: isa.IntReg(1), Src1: isa.IntReg(2), Src2: isa.RegNone, Addr: 1 << 30, Size: 8})
+	for i := range ops {
+		ops[i].Seq = uint64(i)
+		ops[i].PC = 0x1000 + uint64(i)*4
+	}
+	tr := &trace.Trace{Name: "micro", Ops: ops}
+	hier := mem.NewHierarchy(mem.DefaultConfig())
+	for i := range ops {
+		hier.Fetch(ops[i].PC, 0)
+	}
+	c := New(DefaultConfig(LSC), tr, hier, energy.NewAccountant())
+	for i := 0; i < 1_000_000 && !c.Done(); i++ {
+		c.Cycle()
+	}
+	if !c.Done() {
+		t.Fatal("livelock")
+	}
+	// 10 serial FP divides = ~120 cycles; the load (250+ cycles if started
+	// late) must overlap them: total well under serial sum.
+	if c.Now() > 400 {
+		t.Errorf("load did not bypass the FP chain: %d cycles", c.Now())
+	}
+	if c.SliceOps == 0 {
+		t.Error("load not classified as slice op")
+	}
+}

@@ -1,0 +1,302 @@
+// Package specino implements the idealized SpecInO[WS,SO] limit study of
+// §II-C (Figure 2): a conventional stall-on-use in-order core supplemented
+// with a small speculative scheduling window that slides over the IQ,
+// issuing ready instructions out of program order. Renaming and memory
+// disambiguation are perfect (the figure's premise: "assuming that
+// instructions are renamed properly and the architectural state is updated
+// correctly"), which isolates the scheduling contribution.
+package specino
+
+import (
+	"casino/internal/bpred"
+	"casino/internal/energy"
+	"casino/internal/frontend"
+	"casino/internal/isa"
+	"casino/internal/mem"
+	"casino/internal/pipeline"
+	"casino/internal/trace"
+)
+
+// Config holds the limit-study parameters.
+type Config struct {
+	Width      int
+	IQSize     int  // 16, as the Table I in-order IQ
+	WS         int  // window size: instructions examined per cycle
+	SO         int  // sliding offset when nothing in the window is ready
+	NonMemOnly bool // window may issue only non-memory instructions
+	FrontDepth int
+}
+
+// DefaultConfig returns SpecInO[2,1] over the Table I in-order machine.
+func DefaultConfig(ws, so int) Config {
+	return Config{Width: 2, IQSize: 16, WS: ws, SO: so, FrontDepth: 5}
+}
+
+type entry struct {
+	op     *isa.MicroOp
+	issued bool
+	done   int64
+	prod1  *entry
+	prod2  *entry
+	stFwd  *entry // overlapping older store to wait on (oracle disambiguation)
+}
+
+// Core is the idealized SpecInO machine.
+type Core struct {
+	cfg  Config
+	now  int64
+	fe   *frontend.FrontEnd
+	hier *mem.Hierarchy
+	fus  *pipeline.FUPool
+	acct *energy.Accountant
+
+	iq         []*entry // program-ordered window; commit from head
+	winPos     int      // window offset into iq
+	lastWriter [isa.NumArchRegs]*entry
+	lastStores []*entry // in-flight stores, oldest first
+
+	committed uint64
+
+	// OnCommit, when non-nil, observes each committed sequence number
+	// (architectural-invariant checking in tests).
+	OnCommit func(seq uint64)
+
+	// Statistics.
+	SpecIssued uint64 // issued by the sliding window
+	HeadIssued uint64 // issued by the in-order head engine
+	OoOIssued  uint64 // issued while an older instruction was still waiting
+}
+
+// New builds a SpecInO limit-study core over the trace.
+func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
+	if cfg.WS < 1 || cfg.SO < 1 {
+		panic("specino: WS and SO must be positive")
+	}
+	c := &Core{cfg: cfg, hier: hier, fus: pipeline.ScaledFUPool(cfg.Width), acct: acct}
+	c.fe = frontend.New(
+		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
+		tr.Reader(), bpred.NewPredictor(), hier, acct)
+	return c
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// Committed returns committed op count.
+func (c *Core) Committed() uint64 { return c.committed }
+
+// Done reports pipeline drain.
+func (c *Core) Done() bool { return c.fe.Done() && len(c.iq) == 0 }
+
+// SpecFraction returns the fraction of instructions issued by the sliding
+// window itself.
+func (c *Core) SpecFraction() float64 {
+	total := c.SpecIssued + c.HeadIssued
+	if total == 0 {
+		return 0
+	}
+	return float64(c.SpecIssued) / float64(total)
+}
+
+// OoOFraction returns the fraction of instructions issued out of program
+// order — issued while at least one older instruction was still waiting —
+// the paper's §II-C "62%" definition (it counts head-engine issues that
+// slipped past stalled window-skipped instructions too).
+func (c *Core) OoOFraction() float64 {
+	total := c.SpecIssued + c.HeadIssued
+	if total == 0 {
+		return 0
+	}
+	return float64(c.OoOIssued) / float64(total)
+}
+
+// olderWaiting reports whether any instruction older than index idx is
+// still unissued.
+func (c *Core) olderWaiting(idx int) bool {
+	for i := 0; i < idx; i++ {
+		if !c.iq[i].issued {
+			return true
+		}
+	}
+	return false
+}
+
+// Cycle advances one clock.
+func (c *Core) Cycle() {
+	now := c.now
+	c.commit(now)
+	c.issue(now)
+	c.dispatch()
+	c.fe.Cycle(now)
+	c.now++
+	c.acct.Cycles++
+}
+
+// commit drains completed instructions in order from the IQ head.
+func (c *Core) commit(now int64) {
+	n := 0
+	for len(c.iq) > 0 && n < c.cfg.Width {
+		e := c.iq[0]
+		if !e.issued || e.done > now {
+			break
+		}
+		if e.op.Class == isa.Store {
+			// Perfect store buffering: retire directly (timing charged at
+			// issue; the limit study has no SB stalls).
+			c.hier.Store(e.op.PC, e.op.Addr, now)
+			c.acct.L1Access++
+		}
+		if c.OnCommit != nil {
+			c.OnCommit(e.op.Seq)
+		}
+		c.iq = c.iq[1:]
+		if c.winPos > 0 {
+			c.winPos--
+		}
+		c.committed++
+		n++
+		c.pruneStores(e)
+	}
+}
+
+func (c *Core) pruneStores(e *entry) {
+	if e.op.Class != isa.Store {
+		return
+	}
+	for i, s := range c.lastStores {
+		if s == e {
+			c.lastStores = append(c.lastStores[:i], c.lastStores[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Core) issue(now int64) {
+	slots := c.cfg.Width
+	// In-order issue at the IQ head (the conventional InO engine).
+	idx := 0
+	for slots > 0 && idx < len(c.iq) {
+		e := c.iq[idx]
+		if e.issued {
+			idx++
+			continue
+		}
+		if !c.ready(e, now) || !c.fus.Issue(e.op.Class, now) {
+			break
+		}
+		if c.olderWaiting(idx) {
+			c.OoOIssued++
+		}
+		c.execute(e, now)
+		c.HeadIssued++
+		slots--
+		idx++
+	}
+	// The SpecInO window examines WS entries at winPos.
+	if c.winPos < idx+1 {
+		c.winPos = idx + 1 // window runs ahead of the stalled head region
+	}
+	issuedFromWindow := false
+	for w := 0; w < c.cfg.WS && slots > 0; w++ {
+		p := c.winPos + w
+		if p >= len(c.iq) {
+			break
+		}
+		e := c.iq[p]
+		if e.issued {
+			continue
+		}
+		if c.cfg.NonMemOnly && e.op.Class.IsMem() {
+			continue
+		}
+		if !c.ready(e, now) || !c.fus.Issue(e.op.Class, now) {
+			continue
+		}
+		if c.olderWaiting(p) {
+			c.OoOIssued++
+		}
+		c.execute(e, now)
+		c.SpecIssued++
+		issuedFromWindow = true
+		slots--
+	}
+	if !issuedFromWindow {
+		// Nothing ready in the window: slide towards younger instructions.
+		// The window never moves backwards — instructions it has passed
+		// can only issue when they reach the IQ head, which is exactly why
+		// large sliding offsets hurt (§II-C).
+		c.winPos += c.cfg.SO
+		if c.winPos > len(c.iq) {
+			c.winPos = len(c.iq)
+		}
+	}
+}
+
+// ready uses exact dataflow (perfect renaming): an instruction is ready
+// when its producers completed; a load additionally waits for a
+// conflicting older store (perfect, violation-free disambiguation).
+func (c *Core) ready(e *entry, now int64) bool {
+	for _, p := range [...]*entry{e.prod1, e.prod2} {
+		if p != nil && (!p.issued || p.done > now) {
+			return false
+		}
+	}
+	if e.stFwd != nil && (!e.stFwd.issued || e.stFwd.done > now) {
+		return false
+	}
+	return true
+}
+
+func (c *Core) execute(e *entry, now int64) {
+	op := e.op
+	e.issued = true
+	switch op.Class {
+	case isa.Load:
+		agu := now + int64(op.Class.ExecLatency())
+		if e.stFwd != nil {
+			e.done = agu + int64(c.hier.Config().L1Latency) // forwarded
+		} else {
+			done, _ := c.hier.Load(op.PC, op.Addr, agu)
+			c.acct.L1Access++
+			e.done = done
+		}
+	case isa.Branch:
+		e.done = now + int64(op.Class.ExecLatency())
+		c.fe.BranchResolved(op.Seq, e.done)
+	default:
+		e.done = now + int64(op.Class.ExecLatency())
+	}
+}
+
+func (c *Core) dispatch() {
+	for k := 0; k < c.cfg.Width && len(c.iq) < c.cfg.IQSize; k++ {
+		op := c.fe.Pop()
+		if op == nil {
+			return
+		}
+		e := &entry{op: op}
+		if op.Src1.Valid() {
+			e.prod1 = c.lastWriter[op.Src1]
+		}
+		if op.Src2.Valid() {
+			e.prod2 = c.lastWriter[op.Src2]
+		}
+		if op.Class == isa.Load {
+			// Oracle disambiguation: find the youngest overlapping older
+			// in-flight store (must forward from it when it completes).
+			for i := len(c.lastStores) - 1; i >= 0; i-- {
+				if c.lastStores[i].op.Overlaps(op) {
+					e.stFwd = c.lastStores[i]
+					break
+				}
+			}
+		}
+		if op.HasDst() {
+			c.lastWriter[op.Dst] = e
+		}
+		if op.Class == isa.Store {
+			c.lastStores = append(c.lastStores, e)
+		}
+		c.iq = append(c.iq, e)
+	}
+}

@@ -1,0 +1,107 @@
+package specino
+
+import (
+	"testing"
+
+	"casino/internal/energy"
+	"casino/internal/ino"
+	"casino/internal/mem"
+	"casino/internal/workload"
+)
+
+func runModel(t *testing.T, cfg Config, name string, n int) float64 {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Generate(p, n, 1)
+	c := New(cfg, tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	for i := 0; i < 50_000_000 && !c.Done(); i++ {
+		c.Cycle()
+	}
+	if !c.Done() {
+		t.Fatalf("specino livelocked on %s", name)
+	}
+	if c.Committed() != uint64(tr.Len()) {
+		t.Fatalf("committed %d of %d", c.Committed(), tr.Len())
+	}
+	return float64(c.Committed()) / float64(c.Now())
+}
+
+func inoIPC(t *testing.T, name string, n int) float64 {
+	t.Helper()
+	p, _ := workload.ByName(name)
+	tr := workload.Generate(p, n, 1)
+	c := ino.New(ino.DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	for i := 0; i < 50_000_000 && !c.Done(); i++ {
+		c.Cycle()
+	}
+	return float64(c.Committed()) / float64(c.Now())
+}
+
+func TestSpecInOBeatsInO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload runs")
+	}
+	for _, name := range []string{"libquantum", "milc"} {
+		spec := runModel(t, DefaultConfig(2, 1), name, 20000)
+		base := inoIPC(t, name, 20000)
+		if spec <= base {
+			t.Errorf("%s: SpecInO[2,1] IPC %.3f <= InO %.3f", name, spec, base)
+		}
+	}
+}
+
+func TestAllTypesBeatsNonMem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload runs")
+	}
+	// §II-C: allowing speculative memory issue adds MLP on memory-bound
+	// workloads.
+	cfgNM := DefaultConfig(2, 1)
+	cfgNM.NonMemOnly = true
+	all := runModel(t, DefaultConfig(2, 1), "libquantum", 20000)
+	nonmem := runModel(t, cfgNM, "libquantum", 20000)
+	if all < nonmem {
+		t.Errorf("All-types IPC %.3f < Non-mem %.3f", all, nonmem)
+	}
+}
+
+func TestSO1BeatsSO2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload runs")
+	}
+	// §II-C's first observation: [2,1] >= [2,2] (sliding too fast loses
+	// issue opportunities).
+	var s1, s2 float64
+	for _, name := range []string{"libquantum", "sphinx3", "gobmk"} {
+		s1 += runModel(t, DefaultConfig(2, 1), name, 20000)
+		s2 += runModel(t, DefaultConfig(2, 2), name, 20000)
+	}
+	if s1 < s2*0.98 {
+		t.Errorf("SpecInO[2,1] total %.3f materially below [2,2] %.3f", s1, s2)
+	}
+}
+
+func TestSpecFractionPlausible(t *testing.T) {
+	p, _ := workload.ByName("libquantum")
+	tr := workload.Generate(p, 20000, 1)
+	c := New(DefaultConfig(2, 1), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	for !c.Done() {
+		c.Cycle()
+	}
+	f := c.SpecFraction()
+	if f <= 0.05 || f >= 0.98 {
+		t.Errorf("speculative issue fraction %.2f implausible", f)
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad WS/SO accepted")
+		}
+	}()
+	New(Config{Width: 2, IQSize: 16, WS: 0, SO: 1, FrontDepth: 5}, nil, nil, nil)
+}

@@ -1,0 +1,142 @@
+package workload
+
+// The 25 SPEC CPU2006 stand-in profiles (12 SPECint + 13 SPECfp) used by the
+// paper's evaluation. Knob choices follow each application's published
+// character: working-set size sets cache behaviour against the 32 KiB L1 /
+// 1 MiB L2 of Table I; Chase chains set serial memory dependence; Compute
+// ILP sets register-level parallelism; Branchy TakenProb sets branch
+// entropy; Alias models h264ref-style store→load reuse.
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+)
+
+func init() {
+	// --- SPECint ---
+	register(&Profile{Name: "perlbench", Integer: true, Kernels: []Kernel{
+		{Behavior: Branchy, Weight: 0.30, WorkingSet: 64 * kib, TakenProb: 0.62, OpsPerMem: 3},
+		{Behavior: Indirect, Weight: 0.15, WorkingSet: 32 * kib, Targets: 12, OpsPerMem: 3},
+		{Behavior: Compute, Weight: 0.35, WorkingSet: 32 * kib, ILP: 3, OpsPerMem: 6},
+		{Behavior: Chase, Weight: 0.20, WorkingSet: 512 * kib, Chains: 2, OpsPerMem: 3},
+	}})
+	register(&Profile{Name: "bzip2", Integer: true, Kernels: []Kernel{
+		{Behavior: Compute, Weight: 0.40, WorkingSet: 64 * kib, ILP: 3, OpsPerMem: 7},
+		{Behavior: Stream, Weight: 0.35, WorkingSet: 2 * mib, Stride: 8, OpsPerMem: 4, StoreEvery: 3},
+		{Behavior: Branchy, Weight: 0.25, WorkingSet: 128 * kib, TakenProb: 0.55, OpsPerMem: 3},
+	}})
+	register(&Profile{Name: "gcc", Integer: true, Kernels: []Kernel{
+		{Behavior: Branchy, Weight: 0.30, WorkingSet: 128 * kib, TakenProb: 0.58, OpsPerMem: 3},
+		{Behavior: Indirect, Weight: 0.10, WorkingSet: 64 * kib, Targets: 16, OpsPerMem: 2},
+		{Behavior: Chase, Weight: 0.25, WorkingSet: 512 * kib, Chains: 2, OpsPerMem: 3},
+		{Behavior: Gather, Weight: 0.10, WorkingSet: 1 * mib, OpsPerMem: 3},
+		{Behavior: Compute, Weight: 0.25, WorkingSet: 64 * kib, ILP: 2, OpsPerMem: 5},
+	}})
+	register(&Profile{Name: "mcf", Integer: true, Kernels: []Kernel{
+		{Behavior: Chase, Weight: 0.50, WorkingSet: 16 * mib, Chains: 2, OpsPerMem: 3},
+		{Behavior: Gather, Weight: 0.35, WorkingSet: 8 * mib, OpsPerMem: 3},
+		{Behavior: Branchy, Weight: 0.15, WorkingSet: 64 * kib, TakenProb: 0.6, OpsPerMem: 2},
+	}})
+	register(&Profile{Name: "gobmk", Integer: true, Kernels: []Kernel{
+		{Behavior: Branchy, Weight: 0.50, WorkingSet: 64 * kib, TakenProb: 0.52, OpsPerMem: 3},
+		{Behavior: Compute, Weight: 0.30, WorkingSet: 32 * kib, ILP: 2, OpsPerMem: 5},
+		{Behavior: Gather, Weight: 0.20, WorkingSet: 512 * kib, OpsPerMem: 3},
+	}})
+	register(&Profile{Name: "hmmer", Integer: true, Kernels: []Kernel{
+		{Behavior: Compute, Weight: 0.60, WorkingSet: 32 * kib, ILP: 4, OpsPerMem: 9},
+		{Behavior: Stream, Weight: 0.40, WorkingSet: 256 * kib, Stride: 8, OpsPerMem: 5, StoreEvery: 4},
+	}})
+	register(&Profile{Name: "sjeng", Integer: true, Kernels: []Kernel{
+		{Behavior: Branchy, Weight: 0.55, WorkingSet: 64 * kib, TakenProb: 0.5, OpsPerMem: 3},
+		{Behavior: Compute, Weight: 0.30, WorkingSet: 32 * kib, ILP: 2, OpsPerMem: 5},
+		{Behavior: Gather, Weight: 0.15, WorkingSet: 1 * mib, OpsPerMem: 2},
+	}})
+	register(&Profile{Name: "libquantum", Integer: true, Kernels: []Kernel{
+		{Behavior: Stream, Weight: 0.80, WorkingSet: 32 * mib, Stride: 16, OpsPerMem: 3, StoreEvery: 4},
+		{Behavior: Compute, Weight: 0.20, WorkingSet: 32 * kib, ILP: 2, OpsPerMem: 4},
+	}})
+	register(&Profile{Name: "h264ref", Integer: true, Kernels: []Kernel{
+		{Behavior: Alias, Weight: 0.45, WorkingSet: 128 * kib, AliasDist: 4, OpsPerMem: 3},
+		{Behavior: Stream, Weight: 0.30, WorkingSet: 512 * kib, Stride: 8, OpsPerMem: 4, StoreEvery: 2},
+		{Behavior: Branchy, Weight: 0.25, WorkingSet: 64 * kib, TakenProb: 0.72, OpsPerMem: 3},
+	}})
+	register(&Profile{Name: "omnetpp", Integer: true, Kernels: []Kernel{
+		{Behavior: Chase, Weight: 0.40, WorkingSet: 4 * mib, Chains: 2, OpsPerMem: 3},
+		{Behavior: Gather, Weight: 0.15, WorkingSet: 2 * mib, OpsPerMem: 3},
+		{Behavior: Branchy, Weight: 0.25, WorkingSet: 128 * kib, TakenProb: 0.6, OpsPerMem: 3},
+		{Behavior: Compute, Weight: 0.20, WorkingSet: 64 * kib, ILP: 2, OpsPerMem: 4},
+	}})
+	register(&Profile{Name: "astar", Integer: true, Kernels: []Kernel{
+		{Behavior: Chase, Weight: 0.45, WorkingSet: 2 * mib, Chains: 1, OpsPerMem: 3},
+		{Behavior: Branchy, Weight: 0.35, WorkingSet: 64 * kib, TakenProb: 0.56, OpsPerMem: 3},
+		{Behavior: Compute, Weight: 0.20, WorkingSet: 32 * kib, ILP: 2, OpsPerMem: 4},
+	}})
+	register(&Profile{Name: "xalancbmk", Integer: true, Kernels: []Kernel{
+		{Behavior: Branchy, Weight: 0.40, WorkingSet: 256 * kib, TakenProb: 0.6, OpsPerMem: 3},
+		{Behavior: Chase, Weight: 0.30, WorkingSet: 1 * mib, Chains: 2, OpsPerMem: 2},
+		{Behavior: Gather, Weight: 0.05, WorkingSet: 2 * mib, OpsPerMem: 3},
+		{Behavior: Compute, Weight: 0.25, WorkingSet: 64 * kib, ILP: 3, OpsPerMem: 5},
+	}})
+
+	// --- SPECfp ---
+	register(&Profile{Name: "bwaves", Integer: false, Kernels: []Kernel{
+		{Behavior: Stream, Weight: 0.70, WorkingSet: 16 * mib, Stride: 8, OpsPerMem: 6, StoreEvery: 4, FP: true},
+		{Behavior: Compute, Weight: 0.30, WorkingSet: 64 * kib, ILP: 4, OpsPerMem: 8, FP: true},
+	}})
+	register(&Profile{Name: "gamess", Integer: false, Kernels: []Kernel{
+		{Behavior: Compute, Weight: 0.70, WorkingSet: 64 * kib, ILP: 3, OpsPerMem: 10, FP: true},
+		{Behavior: Stream, Weight: 0.30, WorkingSet: 128 * kib, Stride: 8, OpsPerMem: 5, FP: true},
+	}})
+	register(&Profile{Name: "milc", Integer: false, Kernels: []Kernel{
+		{Behavior: Stream, Weight: 0.45, WorkingSet: 8 * mib, Stride: 8, OpsPerMem: 4, StoreEvery: 4, FP: true},
+		{Behavior: Gather, Weight: 0.35, WorkingSet: 2 * mib, OpsPerMem: 4, FP: true},
+		{Behavior: Compute, Weight: 0.20, WorkingSet: 64 * kib, ILP: 3, OpsPerMem: 6, FP: true},
+	}})
+	register(&Profile{Name: "zeusmp", Integer: false, Kernels: []Kernel{
+		{Behavior: Stream, Weight: 0.60, WorkingSet: 8 * mib, Stride: 8, OpsPerMem: 6, StoreEvery: 6, FP: true},
+		{Behavior: Compute, Weight: 0.40, WorkingSet: 64 * kib, ILP: 3, OpsPerMem: 7, FP: true},
+	}})
+	register(&Profile{Name: "gromacs", Integer: false, Kernels: []Kernel{
+		{Behavior: Compute, Weight: 0.60, WorkingSet: 64 * kib, ILP: 4, OpsPerMem: 8, FP: true},
+		{Behavior: Stream, Weight: 0.30, WorkingSet: 256 * kib, Stride: 8, OpsPerMem: 5, FP: true},
+		{Behavior: Gather, Weight: 0.10, WorkingSet: 512 * kib, OpsPerMem: 3, FP: true},
+	}})
+	register(&Profile{Name: "cactusADM", Integer: false, Kernels: []Kernel{
+		{Behavior: Stream, Weight: 0.55, WorkingSet: 16 * mib, Stride: 8, OpsPerMem: 8, StoreEvery: 8, FP: true},
+		{Behavior: Gather, Weight: 0.30, WorkingSet: 8 * mib, OpsPerMem: 6, FP: true},
+		{Behavior: Compute, Weight: 0.15, WorkingSet: 64 * kib, ILP: 2, OpsPerMem: 6, FP: true},
+	}})
+	register(&Profile{Name: "leslie3d", Integer: false, Kernels: []Kernel{
+		{Behavior: Stream, Weight: 0.65, WorkingSet: 8 * mib, Stride: 8, OpsPerMem: 5, StoreEvery: 5, FP: true},
+		{Behavior: Compute, Weight: 0.35, WorkingSet: 64 * kib, ILP: 3, OpsPerMem: 6, FP: true},
+	}})
+	register(&Profile{Name: "namd", Integer: false, Kernels: []Kernel{
+		{Behavior: Compute, Weight: 0.75, WorkingSet: 64 * kib, ILP: 5, OpsPerMem: 12, FP: true},
+		{Behavior: Stream, Weight: 0.25, WorkingSet: 64 * kib, Stride: 8, OpsPerMem: 6, FP: true},
+	}})
+	register(&Profile{Name: "dealII", Integer: false, Kernels: []Kernel{
+		{Behavior: Compute, Weight: 0.40, WorkingSet: 64 * kib, ILP: 3, OpsPerMem: 6, FP: true},
+		{Behavior: Chase, Weight: 0.25, WorkingSet: 512 * kib, Chains: 2, OpsPerMem: 3},
+		{Behavior: Gather, Weight: 0.05, WorkingSet: 1 * mib, OpsPerMem: 4, FP: true},
+		{Behavior: Stream, Weight: 0.30, WorkingSet: 1 * mib, Stride: 8, OpsPerMem: 4, FP: true},
+	}})
+	register(&Profile{Name: "soplex", Integer: false, Kernels: []Kernel{
+		{Behavior: Gather, Weight: 0.40, WorkingSet: 2 * mib, OpsPerMem: 3, FP: true},
+		{Behavior: Stream, Weight: 0.35, WorkingSet: 2 * mib, Stride: 8, OpsPerMem: 3, FP: true},
+		{Behavior: Branchy, Weight: 0.25, WorkingSet: 128 * kib, TakenProb: 0.56, OpsPerMem: 2},
+	}})
+	register(&Profile{Name: "povray", Integer: false, Kernels: []Kernel{
+		{Behavior: Branchy, Weight: 0.40, WorkingSet: 64 * kib, TakenProb: 0.6, OpsPerMem: 3},
+		{Behavior: Compute, Weight: 0.45, WorkingSet: 32 * kib, ILP: 3, OpsPerMem: 7, FP: true},
+		{Behavior: Gather, Weight: 0.15, WorkingSet: 256 * kib, OpsPerMem: 3, FP: true},
+	}})
+	register(&Profile{Name: "lbm", Integer: false, Kernels: []Kernel{
+		{Behavior: Stream, Weight: 0.80, WorkingSet: 32 * mib, Stride: 8, OpsPerMem: 5, StoreEvery: 2, FP: true},
+		{Behavior: Compute, Weight: 0.20, WorkingSet: 64 * kib, ILP: 3, OpsPerMem: 6, FP: true},
+	}})
+	register(&Profile{Name: "sphinx3", Integer: false, Kernels: []Kernel{
+		{Behavior: Gather, Weight: 0.40, WorkingSet: 1 * mib, OpsPerMem: 4, FP: true},
+		{Behavior: Stream, Weight: 0.35, WorkingSet: 2 * mib, Stride: 8, OpsPerMem: 4, FP: true},
+		{Behavior: Compute, Weight: 0.25, WorkingSet: 64 * kib, ILP: 3, OpsPerMem: 6, FP: true},
+	}})
+}
