@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,14 +23,46 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "6", "figure id ("+strings.Join(casino.Figures(), ", ")+") or 'all'")
-		ops     = flag.Int("ops", 60000, "measured instructions per run")
-		warmup  = flag.Int("warmup", 15000, "warm-up instructions per run")
-		seed    = flag.Int64("seed", 1, "workload generation seed")
-		apps    = flag.String("apps", "", "comma-separated workload subset (default: all 25)")
-		jsonOut = flag.String("json", "", "write raw per-app results as JSON to this file (fig2/fig6 only)")
+		fig        = flag.String("fig", "6", "figure id ("+strings.Join(casino.Figures(), ", ")+") or 'all'")
+		ops        = flag.Int("ops", 60000, "measured instructions per run")
+		warmup     = flag.Int("warmup", 15000, "warm-up instructions per run")
+		seed       = flag.Int64("seed", 1, "workload generation seed")
+		apps       = flag.String("apps", "", "comma-separated workload subset (default: all 25)")
+		jsonOut    = flag.String("json", "", "write raw per-app results as JSON to this file (fig2/fig6 only)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
+				return
+			}
+			runtime.GC() // surface live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	o := casino.Options{Ops: *ops, Warmup: *warmup, Seed: *seed}
 	if *apps != "" {

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"casino/internal/energy"
+	"casino/internal/mem"
+	"casino/internal/trace"
+)
+
+func steadyStateCore(tb testing.TB) *Core {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(5))
+	tr := &trace.Trace{Name: "alloc", Ops: randomOps(rng, 120000)}
+	c := New(DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	for i := 0; i < 3000 && !c.Done(); i++ {
+		c.Cycle() // warm the entry pool, predictor tables and cache maps
+	}
+	return c
+}
+
+// TestSteadyStateCycleAllocs pins down the zero-alloc cycle kernel: once
+// the entry pool and the memory-system tables are warm, the per-cycle
+// allocation rate must stay near zero (the residue is cache/MSHR map
+// growth, not per-instruction garbage).
+func TestSteadyStateCycleAllocs(t *testing.T) {
+	c := steadyStateCore(t)
+	const cyclesPerRun = 500
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < cyclesPerRun; i++ {
+			c.Cycle()
+		}
+	})
+	if c.Done() {
+		t.Fatal("trace drained during measurement; lengthen the trace")
+	}
+	const ceiling = 0.05 // allocations per simulated cycle
+	if perCycle := avg / cyclesPerRun; perCycle > ceiling {
+		t.Errorf("steady-state allocations = %.3f/cycle, ceiling %.2f", perCycle, ceiling)
+	}
+}
+
+// BenchmarkCASINOCycle measures the raw cycle kernel (with allocation
+// stats), bypassing trace generation and harness bookkeeping.
+func BenchmarkCASINOCycle(b *testing.B) {
+	c := steadyStateCore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Done() {
+			b.Fatal("trace drained; lengthen the trace")
+		}
+		c.Cycle()
+	}
+}

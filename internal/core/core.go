@@ -27,8 +27,16 @@ type opEntry struct {
 	dstP  regfile.PReg // register the destination maps to (shared if passed)
 	srcP1 regfile.PReg
 	srcP2 regfile.PReg
-	prod1 *opEntry // producer ops captured at S-IQ exit (conditional renaming)
-	prod2 *opEntry
+
+	// Producer ops captured at S-IQ exit (conditional renaming), paired
+	// with the producer's sequence number at capture time. Entries recycle
+	// through a freelist at commit, so a bare pointer can outlive the
+	// instruction it was captured for; prodSeq1/2 detect that. Use
+	// liveProducer, never the raw pointers.
+	prod1    *opEntry
+	prod2    *opEntry
+	prodSeq1 uint64
+	prodSeq2 uint64
 
 	hasDB    bool // holds a data buffer entry (IQ-issued, conditional renaming)
 	specLoad bool // load issued past an unresolved older store
@@ -40,6 +48,23 @@ type opEntry struct {
 	// past it (Fig. 4's group rename keeps the ROB and SQ in program
 	// order even though the younger instruction left first).
 	preAlloc bool
+}
+
+// liveProducer resolves a captured producer reference. Once the producer
+// commits its entry is recycled: while it sits on the freelist it still
+// carries the old op (issued, done in the past — readiness checks read it
+// as complete, the correct committed outcome), and once reused it carries
+// a different Seq and liveProducer returns nil, which readiness checks
+// treat as "value architectural" — the same committed outcome. A recycled
+// entry can never be reused for the captured Seq again: commit order is
+// monotonic, so refetched sequence numbers are always younger than any
+// committed producer, and a consumer holding a reference to a
+// flush-squashed producer is itself younger and squashed with it.
+func liveProducer(p *opEntry, seq uint64) *opEntry {
+	if p == nil || p.op == nil || p.op.Seq != seq {
+		return nil
+	}
+	return p
 }
 
 // Core is the CASINO core.
@@ -62,13 +87,18 @@ type Core struct {
 
 	// queues[0] is the first S-IQ, queues[1..MidSIQs] the intermediate
 	// S-IQs, queues[len-1] the final in-order IQ. Older instructions live
-	// in higher-indexed queues.
-	queues [][]*opEntry
-	qCap   []int
+	// in higher-indexed queues. Each queue is a fixed-capacity ring sized
+	// at its configuration cap.
+	queues []opRing
 
-	rob  []*opEntry
-	head int
-	n    int
+	rob opRing
+
+	// free recycles opEntry objects: entries return here at commit and on
+	// flush, so steady state allocates nothing per instruction. Entries on
+	// the freelist keep their last op until reused (see liveProducer).
+	free         []*opEntry
+	entryAllocs  uint64 // opEntry heap allocations (freelist misses)
+	entryRecycle uint64 // entries returned to the freelist
 
 	lastWriter [isa.NumArchRegs]*opEntry
 	dbUsed     int
@@ -111,7 +141,7 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 		acct:         acct,
 		rf:           regfile.New(cfg.IntPRF, cfg.FPPRF, uint8(cfg.MaxProducers)),
 		sq:           lsu.NewStoreQueue(cfg.SQSize),
-		rob:          make([]*opEntry, cfg.ROBSize),
+		rob:          newOpRing(cfg.ROBSize),
 		ProducerDist: stats.NewHist(16),
 	}
 	if cfg.OSCASize > 0 && cfg.Disambig == DisambigOSCA {
@@ -124,13 +154,12 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	c.lineSent = newLineSentinels()
 	c.remote = newRemoteInjector(cfg.Remote)
 	nq := 2 + cfg.MidSIQs
-	c.queues = make([][]*opEntry, nq)
-	c.qCap = make([]int, nq)
-	c.qCap[0] = cfg.SIQSize
+	c.queues = make([]opRing, nq)
+	c.queues[0] = newOpRing(cfg.SIQSize)
 	for i := 1; i <= cfg.MidSIQs; i++ {
-		c.qCap[i] = cfg.MidSIQSize
+		c.queues[i] = newOpRing(cfg.MidSIQSize)
 	}
-	c.qCap[nq-1] = cfg.IQSize
+	c.queues[nq-1] = newOpRing(cfg.IQSize)
 	acct.FrontendScale = 1.4 // 9-stage pipeline vs the 7-stage InO
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
@@ -180,11 +209,11 @@ func (c *Core) StoreQueue() *lsu.StoreQueue { return c.sq }
 
 // Done reports whether the trace is exhausted and the pipeline drained.
 func (c *Core) Done() bool {
-	if !c.fe.Done() || c.n != 0 || c.sq.Len() != 0 {
+	if !c.fe.Done() || c.rob.len() != 0 || c.sq.Len() != 0 {
 		return false
 	}
-	for _, q := range c.queues {
-		if len(q) != 0 {
+	for i := range c.queues {
+		if c.queues[i].len() != 0 {
 			return false
 		}
 	}
@@ -208,7 +237,7 @@ func (c *Core) RemoteStats() (invals, withheld, delayCycles uint64) {
 // Cycle advances the core by one clock.
 func (c *Core) Cycle() {
 	now := c.now
-	c.remote.tick(now, c.lineSent, c.n)
+	c.remote.tick(now, c.lineSent, c.rob.len())
 	c.retireStores(now)
 	c.commit(now)
 	c.schedule(now)
@@ -218,7 +247,36 @@ func (c *Core) Cycle() {
 	c.acct.Cycles++
 }
 
-func (c *Core) robAt(i int) *opEntry { return c.rob[(c.head+i)%len(c.rob)] }
+func (c *Core) robAt(i int) *opEntry { return c.rob.at(i) }
+
+// allocEntry takes an entry from the freelist (or the heap on a miss) and
+// resets it for op. References captured against the entry's previous life
+// are invalidated by the Seq change (see liveProducer).
+func (c *Core) allocEntry(op *isa.MicroOp) *opEntry {
+	var e *opEntry
+	if k := len(c.free); k > 0 {
+		e = c.free[k-1]
+		c.free = c.free[:k-1]
+	} else {
+		e = new(opEntry)
+		c.entryAllocs++
+	}
+	*e = opEntry{
+		op: op, queue: 0,
+		newP: regfile.PRegNone, oldP: regfile.PRegNone,
+		dstP: regfile.PRegNone, srcP1: regfile.PRegNone, srcP2: regfile.PRegNone,
+	}
+	return e
+}
+
+// recycleEntry returns an entry to the freelist. The caller guarantees the
+// entry has left every queue and the ROB; lastWriter references must have
+// been cleared. The op pointer is intentionally kept: stale producer
+// references read the old (committed/squashed) state until reuse.
+func (c *Core) recycleEntry(e *opEntry) {
+	c.entryRecycle++
+	c.free = append(c.free, e)
+}
 
 func (c *Core) retireStores(now int64) {
 	if c.sq.HeadRetirable(now) {
@@ -235,7 +293,7 @@ func (c *Core) retireStores(now int64) {
 
 // commit retires up to Width completed instructions from the ROB head.
 func (c *Core) commit(now int64) {
-	for k := 0; k < c.cfg.Width && c.n > 0; k++ {
+	for k := 0; k < c.cfg.Width && c.rob.len() > 0; k++ {
 		e := c.robAt(0)
 		if !e.issued || e.done > now {
 			return
@@ -277,9 +335,15 @@ func (c *Core) commit(now int64) {
 		}
 		c.log.Commit(op.Seq)
 		c.trace(op.Seq, EvCommit, now)
-		c.head = (c.head + 1) % len(c.rob)
-		c.n--
+		// A committed last-writer's value is architectural; clearing the
+		// reference here (rather than leaving a tombstone) is what lets
+		// the entry recycle safely.
+		if op.HasDst() && c.lastWriter[op.Dst] == e {
+			c.lastWriter[op.Dst] = nil
+		}
+		c.rob.popFront()
 		c.committed++
+		c.recycleEntry(e)
 	}
 }
 
@@ -297,31 +361,35 @@ func (c *Core) flushFrom(victim uint64, now int64) {
 	c.acct.Inc(c.hLog, energy.Read, uint64(c.log.Len()))
 	c.log.Unwind(c.rf, victim)
 	// ProducerCount recovery: dequeue squashed unissued queue residents.
+	// Squashed entries still waiting in the first S-IQ without a pre-
+	// allocated ROB slot exist nowhere else and recycle here; everything
+	// that reached the ROB (passed or pre-allocated) recycles in the ROB
+	// pop below.
 	for qi := range c.queues {
-		q := c.queues[qi]
-		kept := q[:0]
-		for _, e := range q {
-			if e.op.Seq >= victim {
+		inROB := qi > 0
+		c.queues[qi].filter(
+			func(e *opEntry) bool { return e.op.Seq < victim },
+			func(e *opEntry) {
 				if !e.issued && e.newP == regfile.PRegNone && e.dstP != regfile.PRegNone {
 					c.rf.RemoveProducer(e.dstP)
 					c.acct.Inc(c.hScbd, energy.Write, 1)
 				}
-				continue
-			}
-			kept = append(kept, e)
-		}
-		c.queues[qi] = kept
+				if !inROB && !e.preAlloc {
+					c.recycleEntry(e)
+				}
+			})
 	}
 	// Pop squashed ROB entries from the tail.
-	for c.n > 0 {
-		e := c.robAt(c.n - 1)
+	for c.rob.len() > 0 {
+		e := c.robAt(c.rob.len() - 1)
 		if e.op.Seq < victim {
 			break
 		}
 		if e.hasDB {
 			c.dbUsed--
 		}
-		c.n--
+		c.rob.popBack()
+		c.recycleEntry(e)
 	}
 	// OSCA recovery: squashed resolved stores decrement their counters.
 	for _, se := range c.sq.SquashYoungerThan(victim) {
@@ -348,16 +416,12 @@ func (c *Core) flushFrom(victim uint64, now int64) {
 // dispatch moves decoded ops from the front end into the first S-IQ.
 func (c *Core) dispatch() {
 	q := &c.queues[0]
-	for k := 0; k < c.cfg.Width && len(*q) < c.qCap[0]; k++ {
+	for k := 0; k < c.cfg.Width && q.len() < q.cap(); k++ {
 		op := c.fe.Pop()
 		if op == nil {
 			return
 		}
-		*q = append(*q, &opEntry{
-			op: op, queue: 0,
-			newP: regfile.PRegNone, oldP: regfile.PRegNone,
-			dstP: regfile.PRegNone, srcP1: regfile.PRegNone, srcP2: regfile.PRegNone,
-		})
+		q.pushBack(c.allocEntry(op))
 		c.acct.Inc(c.hSIQ, energy.Write, 1)
 		c.trace(op.Seq, EvDispatch, c.now)
 	}

@@ -37,7 +37,7 @@ func run(t *testing.T, c *Core) {
 		c.Cycle()
 	}
 	if !c.Done() {
-		t.Fatalf("core livelocked: committed=%d now=%d rob=%d", c.Committed(), c.Now(), c.n)
+		t.Fatalf("core livelocked: committed=%d now=%d rob=%d", c.Committed(), c.Now(), c.rob.len())
 	}
 }
 

@@ -110,7 +110,7 @@ func (c *Core) issueStore(e *opEntry, now int64) int64 {
 // anyOlderUnperformedLoad reports whether a load older than seq has not
 // yet completed (the load-load speculation condition of §III-C4).
 func (c *Core) anyOlderUnperformedLoad(seq uint64, now int64) bool {
-	for i := 0; i < c.n; i++ {
+	for i := 0; i < c.rob.len(); i++ {
 		e := c.robAt(i)
 		if e.op.Seq >= seq {
 			break

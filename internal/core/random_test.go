@@ -139,3 +139,151 @@ func TestRandomTraceCrossModeAgreement(t *testing.T) {
 		t.Errorf("AGI ordering (%d cyc) much faster than OSCA scheme (%d cyc)", cycles[3], cycles[0])
 	}
 }
+
+// TestOpRingRandomized drives opRing with a random interleaving of every
+// operation and cross-checks each step against a naive slice model.
+func TestOpRingRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		capa := 1 + rng.Intn(24)
+		r := newOpRing(capa)
+		var model []*opEntry
+		check := func(step int) {
+			t.Helper()
+			if r.len() != len(model) || r.cap() != capa {
+				t.Fatalf("iter %d step %d: len/cap %d/%d, want %d/%d",
+					iter, step, r.len(), r.cap(), len(model), capa)
+			}
+			for i := range model {
+				if r.at(i) != model[i] {
+					t.Fatalf("iter %d step %d: at(%d) mismatch", iter, step, i)
+				}
+			}
+		}
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(6); {
+			case op <= 1 && len(model) < capa:
+				e := &opEntry{}
+				r.pushBack(e)
+				model = append(model, e)
+			case op == 2 && len(model) > 0:
+				if got := r.popFront(); got != model[0] {
+					t.Fatalf("iter %d step %d: popFront mismatch", iter, step)
+				}
+				model = model[1:]
+			case op == 3 && len(model) > 0:
+				if got := r.popBack(); got != model[len(model)-1] {
+					t.Fatalf("iter %d step %d: popBack mismatch", iter, step)
+				}
+				model = model[:len(model)-1]
+			case op == 4 && len(model) > 0:
+				k := rng.Intn(len(model))
+				if got := r.removeAt(k); got != model[k] {
+					t.Fatalf("iter %d step %d: removeAt(%d) mismatch", iter, step, k)
+				}
+				model = append(model[:k:k], model[k+1:]...)
+			case op == 5:
+				keep := map[*opEntry]bool{}
+				for _, e := range model {
+					keep[e] = rng.Intn(3) > 0
+				}
+				var wantDropped, kept []*opEntry
+				for _, e := range model {
+					if keep[e] {
+						kept = append(kept, e)
+					} else {
+						wantDropped = append(wantDropped, e)
+					}
+				}
+				var gotDropped []*opEntry
+				r.filter(func(e *opEntry) bool { return keep[e] },
+					func(e *opEntry) { gotDropped = append(gotDropped, e) })
+				if len(gotDropped) != len(wantDropped) {
+					t.Fatalf("iter %d step %d: filter dropped %d, want %d",
+						iter, step, len(gotDropped), len(wantDropped))
+				}
+				for i := range wantDropped {
+					if gotDropped[i] != wantDropped[i] {
+						t.Fatalf("iter %d step %d: filter dropped order mismatch", iter, step)
+					}
+				}
+				model = kept
+			}
+			check(step)
+		}
+	}
+}
+
+// TestEntryRecycleAfterCommit: on a branch-free, store-free trace nothing
+// ever flushes, so every dispatched entry is recycled exactly once at
+// commit and the freelist ends up holding every entry ever allocated.
+func TestEntryRecycleAfterCommit(t *testing.T) {
+	ops := make([]isa.MicroOp, 0, 800)
+	pc := uint64(0x1000)
+	for i := 0; i < isa.NumIntRegs; i++ {
+		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU, Dst: isa.IntReg(i), Src1: isa.RegNone, Src2: isa.RegNone})
+		pc += 4
+	}
+	for len(ops) < 800 {
+		d := len(ops) % isa.NumIntRegs
+		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU,
+			Dst: isa.IntReg(d), Src1: isa.IntReg((d + 1) % isa.NumIntRegs), Src2: isa.IntReg((d + 3) % isa.NumIntRegs)})
+		pc += 4
+	}
+	for i := range ops {
+		ops[i].Seq = uint64(i)
+	}
+	tr := &trace.Trace{Name: "recycle", Ops: ops}
+	c := New(DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+	run(t, c)
+	if c.Committed() != uint64(tr.Len()) {
+		t.Fatalf("committed %d of %d", c.Committed(), tr.Len())
+	}
+	if c.entryRecycle != uint64(tr.Len()) {
+		t.Errorf("entryRecycle = %d, want %d (one recycle per committed op)", c.entryRecycle, tr.Len())
+	}
+	if len(c.free) != int(c.entryAllocs) {
+		t.Errorf("freelist holds %d entries, %d were allocated (leak or double-recycle)",
+			len(c.free), c.entryAllocs)
+	}
+	max := uint64(c.rob.cap())
+	for i := range c.queues {
+		max += uint64(c.queues[i].cap())
+	}
+	if c.entryAllocs > max {
+		t.Errorf("entryAllocs = %d exceeds total in-flight capacity %d (pool not reusing)", c.entryAllocs, max)
+	}
+}
+
+// TestEntryRecycleAfterFlush: alias-dense random traces under speculative
+// NoLQ disambiguation flush on memory-order violations; squashed entries
+// must return to the freelist (and be re-allocated on refetch) without
+// leaks or double-recycles.
+func TestEntryRecycleAfterFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sawFlushRecycle := false
+	for iter := 0; iter < 12; iter++ {
+		ops := randomOps(rng, 900)
+		cfg := DefaultConfig()
+		cfg.Disambig = DisambigNoLQ
+		cfg.OSCASize = 0
+		tr := &trace.Trace{Name: "rand", Ops: ops}
+		c := New(cfg, tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+		run(t, c)
+		if len(c.free) != int(c.entryAllocs) {
+			t.Fatalf("iter %d: freelist holds %d entries, %d allocated (leak or double-recycle)",
+				iter, len(c.free), c.entryAllocs)
+		}
+		if c.entryRecycle < c.Committed() {
+			t.Fatalf("iter %d: entryRecycle %d < committed %d", iter, c.entryRecycle, c.Committed())
+		}
+		// A violation squashes at least the victim load, which is then
+		// refetched and recycled a second time at commit.
+		if c.Violations > 0 && c.entryRecycle > c.Committed() {
+			sawFlushRecycle = true
+		}
+	}
+	if !sawFlushRecycle {
+		t.Error("no iteration exercised the flush-recycle path (violations never squashed entries)")
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+// opRing is a fixed-capacity, order-preserving ring of in-flight
+// instruction entries. The cascaded scheduling queues and the ROB are
+// bounded by construction, so a ring sized at the configuration cap never
+// reallocates — unlike the previous append/re-slice slices, which churned
+// the allocator on the hottest path of every cycle. Removal keeps age
+// order (oldest at index 0) by shifting whichever side of the hole is
+// shorter; window removals happen within the first WS (≤4) slots, so the
+// shift is a handful of pointer moves.
+type opRing struct {
+	buf  []*opEntry
+	head int
+	n    int
+}
+
+func newOpRing(capacity int) opRing {
+	return opRing{buf: make([]*opEntry, capacity)}
+}
+
+func (r *opRing) len() int { return r.n }
+func (r *opRing) cap() int { return len(r.buf) }
+
+// at returns the i-th oldest entry (0 = oldest). i must be in [0, len).
+func (r *opRing) at(i int) *opEntry {
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// pushBack appends the youngest entry. Callers check capacity first; a
+// push on a full ring is a scheduling bug, not a runtime condition.
+func (r *opRing) pushBack(e *opEntry) {
+	if r.n == len(r.buf) {
+		panic("core: opRing push on full ring")
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+// popFront removes and returns the oldest entry.
+func (r *opRing) popFront() *opEntry {
+	e := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
+}
+
+// popBack removes and returns the youngest entry (flush recovery).
+func (r *opRing) popBack() *opEntry {
+	i := (r.head + r.n - 1) % len(r.buf)
+	e := r.buf[i]
+	r.buf[i] = nil
+	r.n--
+	return e
+}
+
+// removeAt deletes the entry at index i, preserving the order of the rest.
+func (r *opRing) removeAt(i int) *opEntry {
+	e := r.at(i)
+	if i <= r.n-1-i {
+		// Shift the (shorter) front segment toward the tail by one.
+		for j := i; j > 0; j-- {
+			r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j-1)%len(r.buf)]
+		}
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+	} else {
+		// Shift the (shorter) back segment toward the head by one.
+		for j := i; j < r.n-1; j++ {
+			r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j+1)%len(r.buf)]
+		}
+		r.buf[(r.head+r.n-1)%len(r.buf)] = nil
+	}
+	r.n--
+	return e
+}
+
+// filter keeps the entries keep reports true for, preserving order, and
+// hands every removed entry to dropped (which may be nil). Used by flush
+// recovery, so it favours clarity over speed.
+func (r *opRing) filter(keep func(*opEntry) bool, dropped func(*opEntry)) {
+	w := 0
+	for i := 0; i < r.n; i++ {
+		e := r.at(i)
+		if keep(e) {
+			r.buf[(r.head+w)%len(r.buf)] = e
+			w++
+		} else if dropped != nil {
+			dropped(e)
+		}
+	}
+	for i := w; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = nil
+	}
+	r.n = w
+}

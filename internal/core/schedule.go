@@ -32,9 +32,9 @@ func (c *Core) schedule(now int64) {
 
 // processFinalIQ issues strictly in order from the head of the last queue.
 func (c *Core) processFinalIQ(now int64, slots *int) {
-	last := len(c.queues) - 1
-	for *slots > 0 && len(c.queues[last]) > 0 {
-		e := c.queues[last][0]
+	q := &c.queues[len(c.queues)-1]
+	for *slots > 0 && q.len() > 0 {
+		e := q.at(0)
 		if !c.iqReady(e, now) {
 			return
 		}
@@ -44,7 +44,7 @@ func (c *Core) processFinalIQ(now int64, slots *int) {
 		if !c.fus.Issue(e.op.Class, now) {
 			return
 		}
-		c.queues[last] = c.queues[last][1:]
+		q.popFront()
 		c.acct.Inc(c.hIQ, energy.Read, 1)
 		c.issueOp(e, now, false)
 		*slots--
@@ -63,18 +63,19 @@ func (c *Core) processFinalIQ(now int64, slots *int) {
 func (c *Core) processSIQ(qi int, now int64, slots *int) {
 	passes := 0
 	pos := 0
-	for examined := 0; examined < c.cfg.WS && pos < len(c.queues[qi]); examined++ {
-		q := c.queues[qi]
-		e := q[pos]
+	q := &c.queues[qi]
+	next := &c.queues[qi+1]
+	for examined := 0; examined < c.cfg.WS && pos < q.len(); examined++ {
+		e := q.at(pos)
 		ready := c.siqReady(qi, e, now)
 		switch {
 		case ready && *slots > 0 && c.exitResourcesOK(qi, e, pos) &&
 			c.issueResourcesOK(e, now, true) && c.fus.CanIssue(e.op.Class, now):
 			if qi == 0 {
-				c.preAllocOlder(q[:pos])
+				c.preAllocOlder(q, pos)
 				c.exitRename(e, true)
 			}
-			c.removeAt(qi, pos)
+			q.removeAt(pos)
 			c.acct.Inc(c.hSIQ, energy.Read, 1)
 			c.fus.Issue(e.op.Class, now)
 			c.issueOp(e, now, true)
@@ -84,14 +85,14 @@ func (c *Core) processSIQ(qi int, now int64, slots *int) {
 			}
 			// Do not advance pos: the next entry slid into this slot.
 		case !ready && pos == 0 && passes < c.cfg.SO &&
-			len(c.queues[qi+1]) < c.qCap[qi+1] && c.exitResourcesOK(qi, e, pos) && c.passResourcesOK(qi, e):
+			next.len() < next.cap() && c.exitResourcesOK(qi, e, pos) && c.passResourcesOK(qi, e):
 			if qi == 0 {
 				c.exitRename(e, false)
 			}
-			c.removeAt(qi, 0)
+			q.removeAt(0)
 			c.acct.Inc(c.hSIQ, energy.Read, 1)
 			e.queue = int8(qi + 1)
-			c.queues[qi+1] = append(c.queues[qi+1], e)
+			next.pushBack(e)
 			if qi+1 == len(c.queues)-1 {
 				c.acct.Inc(c.hIQ, energy.Write, 1)
 				c.PassedToIQ++
@@ -129,7 +130,7 @@ func (c *Core) diagnoseHeadStall(e *opEntry, ready bool, now int64) {
 		}
 		return
 	}
-	if len(c.queues[1]) >= c.qCap[1] {
+	if c.queues[1].len() >= c.queues[1].cap() {
 		c.StallIQFull++
 		return
 	}
@@ -138,28 +139,18 @@ func (c *Core) diagnoseHeadStall(e *opEntry, ready bool, now int64) {
 	}
 }
 
-// removeAt deletes the entry at index i of queue qi, preserving order.
-func (c *Core) removeAt(qi, i int) {
-	q := c.queues[qi]
-	if i == 0 {
-		c.queues[qi] = q[1:]
-		return
-	}
-	c.queues[qi] = append(q[:i], q[i+1:]...)
-}
-
-// preAllocOlder reserves program-ordered ROB (and SQ) slots for stuck
-// older window entries before a younger one issues past them, and captures
-// their source mappings as of this point (group rename).
-func (c *Core) preAllocOlder(older []*opEntry) {
-	for _, e := range older {
+// preAllocOlder reserves program-ordered ROB (and SQ) slots for the stuck
+// window entries older than position pos before a younger one issues past
+// them, and captures their source mappings as of this point (group rename).
+func (c *Core) preAllocOlder(q *opRing, pos int) {
+	for i := 0; i < pos; i++ {
+		e := q.at(i)
 		if e.preAlloc {
 			continue
 		}
 		c.captureSources(e)
 		c.dispatchMemEntry(e)
-		c.rob[(c.head+c.n)%len(c.rob)] = e
-		c.n++
+		c.rob.pushBack(e)
 		c.acct.Inc(c.hROB, energy.Write, 1)
 		e.preAlloc = true
 	}
@@ -211,13 +202,11 @@ func (c *Core) siqReady(qi int, e *opEntry, now int64) bool {
 	}
 	if c.cfg.Renaming == RenameConditional {
 		// Captured producers (group rename or the final-IQ data path).
-		for _, p := range [...]*opEntry{e.prod1, e.prod2} {
-			if p == nil {
-				continue
-			}
-			if !p.issued || p.done > now {
-				return false
-			}
+		if p := liveProducer(e.prod1, e.prodSeq1); p != nil && (!p.issued || p.done > now) {
+			return false
+		}
+		if p := liveProducer(e.prod2, e.prodSeq2); p != nil && (!p.issued || p.done > now) {
+			return false
 		}
 		return true
 	}
@@ -239,13 +228,11 @@ func (c *Core) siqReady(qi int, e *opEntry, now int64) bool {
 // producer completion; under conventional renaming each op owns a register.
 func (c *Core) iqReady(e *opEntry, now int64) bool {
 	if c.cfg.Renaming == RenameConditional {
-		for _, p := range [...]*opEntry{e.prod1, e.prod2} {
-			if p == nil {
-				continue
-			}
-			if !p.issued || p.done > now {
-				return false
-			}
+		if p := liveProducer(e.prod1, e.prodSeq1); p != nil && (!p.issued || p.done > now) {
+			return false
+		}
+		if p := liveProducer(e.prod2, e.prodSeq2); p != nil && (!p.issued || p.done > now) {
+			return false
 		}
 		return true
 	}
@@ -277,7 +264,8 @@ func (c *Core) exitResourcesOK(qi int, e *opEntry, pos int) bool {
 		case isa.Load:
 			lqNeed++
 		}
-		for _, o := range c.queues[0][:pos] {
+		for i := 0; i < pos; i++ {
+			o := c.queues[0].at(i)
 			if !o.preAlloc {
 				robNeed++
 				switch o.op.Class {
@@ -289,7 +277,7 @@ func (c *Core) exitResourcesOK(qi int, e *opEntry, pos int) bool {
 			}
 		}
 	}
-	if c.n+robNeed > len(c.rob) {
+	if c.rob.len()+robNeed > c.rob.cap() {
 		return false
 	}
 	if sqNeed > 0 && c.sq.Len()+sqNeed > c.sq.Cap() {
@@ -368,8 +356,7 @@ func (c *Core) exitRename(e *opEntry, issuing bool) {
 		return // ROB and SQ/LQ slots were reserved by the group rename
 	}
 	c.dispatchMemEntry(e)
-	c.rob[(c.head+c.n)%len(c.rob)] = e
-	c.n++
+	c.rob.pushBack(e)
 	c.acct.Inc(c.hROB, energy.Write, 1)
 }
 
@@ -395,11 +382,18 @@ func (c *Core) captureSources(e *opEntry) {
 	e.srcP1 = c.rf.Lookup(op.Src1)
 	e.srcP2 = c.rf.Lookup(op.Src2)
 	if c.cfg.Renaming == RenameConditional {
+		// lastWriter only holds in-flight entries (commit clears it), so
+		// the captured Seq is the producer's own — the pair stays valid
+		// across the producer's recycling (see liveProducer).
 		if op.Src1.Valid() {
-			e.prod1 = c.lastWriter[op.Src1]
+			if lw := c.lastWriter[op.Src1]; lw != nil {
+				e.prod1, e.prodSeq1 = lw, lw.op.Seq
+			}
 		}
 		if op.Src2.Valid() {
-			e.prod2 = c.lastWriter[op.Src2]
+			if lw := c.lastWriter[op.Src2]; lw != nil {
+				e.prod2, e.prodSeq2 = lw, lw.op.Seq
+			}
 		}
 	}
 }
@@ -408,13 +402,18 @@ func (c *Core) captureSources(e *opEntry) {
 // entries separate a passed instruction from its in-IQ producer.
 func (c *Core) recordProducerDistance(e *opEntry) {
 	last := len(c.queues) - 1
-	for _, p := range [...]*opEntry{e.prod1, e.prod2} {
+	q := &c.queues[last]
+	for _, pr := range [...]struct {
+		p   *opEntry
+		seq uint64
+	}{{e.prod1, e.prodSeq1}, {e.prod2, e.prodSeq2}} {
+		p := liveProducer(pr.p, pr.seq)
 		if p == nil || p.issued || int(p.queue) != last {
 			continue
 		}
-		for i := len(c.queues[last]) - 1; i >= 0; i-- {
-			if c.queues[last][i] == p {
-				c.ProducerDist.Add(len(c.queues[last]) - 1 - i)
+		for i := q.len() - 1; i >= 0; i-- {
+			if q.at(i) == p {
+				c.ProducerDist.Add(q.len() - 1 - i)
 				return
 			}
 		}

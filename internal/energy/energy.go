@@ -121,7 +121,11 @@ func maxInt(a, b int) int {
 type Accountant struct {
 	structs []Structure
 	index   map[string]int
-	counts  [][numKinds]uint64
+	// counts is a dense flat array indexed handle*numKinds+kind. Inc is
+	// the hottest accounting call in the simulator (several per core per
+	// cycle), so it must be a single add at a computed offset — no map
+	// lookups, no per-structure sub-slices.
+	counts []uint64
 
 	IntOps   uint64 // integer FU operations
 	FPOps    uint64
@@ -150,22 +154,24 @@ func (a *Accountant) Register(s Structure) int {
 	}
 	a.index[s.Name] = len(a.structs)
 	a.structs = append(a.structs, s)
-	a.counts = append(a.counts, [numKinds]uint64{})
+	a.counts = append(a.counts, make([]uint64, numKinds)...)
 	return len(a.structs) - 1
 }
 
 // Inc counts n events of kind k on structure handle h.
 func (a *Accountant) Inc(h int, k EventKind, n uint64) {
-	a.counts[h][k] += n
+	a.counts[h*int(numKinds)+int(k)] += n
 }
 
 // Count returns the accumulated count for structure h and kind k.
-func (a *Accountant) Count(h int, k EventKind) uint64 { return a.counts[h][k] }
+func (a *Accountant) Count(h int, k EventKind) uint64 {
+	return a.counts[h*int(numKinds)+int(k)]
+}
 
 // CountByName returns counts for a named structure (0s if absent).
 func (a *Accountant) CountByName(name string, k EventKind) uint64 {
 	if h, ok := a.index[name]; ok {
-		return a.counts[h][k]
+		return a.Count(h, k)
 	}
 	return 0
 }
@@ -200,7 +206,7 @@ func (a *Accountant) DynamicEnergy() float64 {
 	var e float64
 	for i, s := range a.structs {
 		for k := EventKind(0); k < numKinds; k++ {
-			if c := a.counts[i][k]; c != 0 {
+			if c := a.Count(i, k); c != 0 {
 				e += float64(c) * s.AccessEnergy(k)
 			}
 		}
@@ -238,7 +244,7 @@ func (a *Accountant) EnergyBreakdown() map[string]float64 {
 	for i, s := range a.structs {
 		var e float64
 		for k := EventKind(0); k < numKinds; k++ {
-			e += float64(a.counts[i][k]) * s.AccessEnergy(k)
+			e += float64(a.Count(i, k)) * s.AccessEnergy(k)
 		}
 		out[s.Name] = e
 	}

@@ -38,6 +38,46 @@ type entry struct {
 	wbDone int64 // in-order write-back completion
 }
 
+// entRing is a fixed-capacity FIFO of entries. Both the IQ and the SCB
+// window push at the tail and pop at the head every cycle; re-slicing a
+// plain []entry from the front makes every append reallocate once the
+// backing array is consumed, which dominated the model's allocation count.
+type entRing struct {
+	buf  []entry
+	head int
+	n    int
+}
+
+func newEntRing(capacity int) entRing { return entRing{buf: make([]entry, capacity)} }
+
+func (r *entRing) len() int { return r.n }
+
+func (r *entRing) at(i int) *entry {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return &r.buf[j]
+}
+
+func (r *entRing) pushBack(e entry) {
+	j := r.head + r.n
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	r.buf[j] = e
+	r.n++
+}
+
+func (r *entRing) popFront() {
+	r.buf[r.head] = entry{}
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
+
 // Core is the baseline in-order core.
 type Core struct {
 	cfg  Config
@@ -48,8 +88,8 @@ type Core struct {
 	acct *energy.Accountant
 	sb   *lsu.StoreQueue
 
-	iq  []entry // dispatched, waiting to issue (FIFO)
-	win []entry // issued, waiting for in-order write-back (SCB window)
+	iq  entRing // dispatched, waiting to issue (FIFO)
+	win entRing // issued, waiting for in-order write-back (SCB window)
 
 	regReady [isa.NumArchRegs]int64
 
@@ -77,8 +117,8 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 		fus:  pipeline.ScaledFUPool(cfg.Width),
 		acct: acct,
 		sb:   lsu.NewStoreQueue(cfg.SBSize),
-		iq:   make([]entry, 0, cfg.IQSize),
-		win:  make([]entry, 0, cfg.SCBSize),
+		iq:   newEntRing(cfg.IQSize),
+		win:  newEntRing(cfg.SCBSize),
 	}
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
@@ -98,7 +138,7 @@ func (c *Core) Committed() uint64 { return c.committed }
 
 // Done reports whether the trace is exhausted and the pipeline drained.
 func (c *Core) Done() bool {
-	return c.fe.Done() && len(c.iq) == 0 && len(c.win) == 0 && c.sb.Len() == 0
+	return c.fe.Done() && c.iq.len() == 0 && c.win.len() == 0 && c.sb.Len() == 0
 }
 
 // Mispredicts returns front-end branch mispredict count.
@@ -130,8 +170,8 @@ func (c *Core) retireStores(now int64) {
 // writeback commits up to Width completed instructions in order from the
 // SCB window. A store needs a free store-buffer entry to commit.
 func (c *Core) writeback(now int64) {
-	for n := 0; n < c.cfg.Width && len(c.win) > 0; n++ {
-		e := &c.win[0]
+	for n := 0; n < c.cfg.Width && c.win.len() > 0; n++ {
+		e := c.win.at(0)
 		wb := e.done
 		if wb < c.lastWB {
 			wb = c.lastWB // SCB enforces in-order write-back
@@ -156,7 +196,7 @@ func (c *Core) writeback(now int64) {
 		if c.OnCommit != nil {
 			c.OnCommit(e.op.Seq)
 		}
-		c.win = c.win[1:]
+		c.win.popFront()
 		c.committed++
 	}
 }
@@ -164,15 +204,15 @@ func (c *Core) writeback(now int64) {
 // issue examines the IQ head in order and issues ready instructions
 // (stall-on-use: the first non-ready instruction blocks all younger ones).
 func (c *Core) issue(now int64) {
-	for n := 0; n < c.cfg.Width && len(c.iq) > 0; n++ {
-		e := &c.iq[0]
+	for n := 0; n < c.cfg.Width && c.iq.len() > 0; n++ {
+		e := c.iq.at(0)
 		op := e.op
 		c.acct.Inc(c.hSCB, energy.Read, 1)
 		if !c.srcsReady(op, now) {
 			c.IssueStallsSrc++
 			return
 		}
-		if len(c.win) >= c.cfg.SCBSize || !c.fus.CanIssue(op.Class, now) {
+		if c.win.len() >= c.cfg.SCBSize || !c.fus.CanIssue(op.Class, now) {
 			c.IssueStallsRes++
 			return
 		}
@@ -188,8 +228,8 @@ func (c *Core) issue(now int64) {
 		if op.Class == isa.Branch {
 			c.fe.BranchResolved(op.Seq, done)
 		}
-		c.win = append(c.win, entry{op: op, done: done})
-		c.iq = c.iq[1:]
+		c.win.pushBack(entry{op: op, done: done})
+		c.iq.popFront()
 	}
 }
 
@@ -217,8 +257,8 @@ func (c *Core) execute(op *isa.MicroOp, now int64) int64 {
 // All older stores have already issued (in-order), so addresses are known.
 func (c *Core) forwardFromStores(op *isa.MicroOp, now int64) bool {
 	c.acct.Inc(c.hSB, energy.Search, 1)
-	for i := range c.win {
-		if c.win[i].op.Class == isa.Store && c.win[i].op.Overlaps(op) {
+	for i := 0; i < c.win.len(); i++ {
+		if w := c.win.at(i); w.op.Class == isa.Store && w.op.Overlaps(op) {
 			return true
 		}
 	}
@@ -248,12 +288,12 @@ func (c *Core) countFU(class isa.Class) {
 
 // dispatch moves decoded ops from the front end into the IQ.
 func (c *Core) dispatch() {
-	for n := 0; n < c.cfg.Width && len(c.iq) < c.cfg.IQSize; n++ {
+	for n := 0; n < c.cfg.Width && c.iq.len() < c.cfg.IQSize; n++ {
 		op := c.fe.Pop()
 		if op == nil {
 			return
 		}
-		c.iq = append(c.iq, entry{op: op})
+		c.iq.pushBack(entry{op: op})
 		c.acct.Inc(c.hIQ, energy.Write, 1)
 	}
 }

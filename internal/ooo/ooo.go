@@ -105,6 +105,7 @@ type Core struct {
 	rob  []robEntry // ring
 	head int
 	n    int
+	iqN  int // entries with inIQ set (avoids rescanning the ROB in dispatch)
 
 	committed uint64
 
@@ -184,7 +185,15 @@ func (c *Core) Cycle() {
 	c.acct.Cycles++
 }
 
-func (c *Core) at(i int) *robEntry { return &c.rob[(c.head+i)%len(c.rob)] }
+func (c *Core) at(i int) *robEntry {
+	// Hot path: head+i < 2*len always holds, so a compare-and-subtract
+	// replaces the integer division a % would cost.
+	j := c.head + i
+	if j >= len(c.rob) {
+		j -= len(c.rob)
+	}
+	return &c.rob[j]
+}
 
 func (c *Core) retireStores(now int64) {
 	if c.sq.HeadRetirable(now) {
@@ -260,6 +269,7 @@ func (c *Core) issue(now int64) {
 		c.acct.Inc(c.hPRF, energy.Read, 2)
 		c.executeOp(e, now)
 		e.inIQ = false
+		c.iqN--
 		e.issued = true
 		e.issueCycle = now
 		issued++
@@ -376,6 +386,9 @@ func (c *Core) violationFlush(victim uint64, now int64) {
 			c.rf.Release(e.newP)
 			c.acct.Inc(c.hRAT, energy.Write, 1)
 		}
+		if e.inIQ {
+			c.iqN--
+		}
 		c.n--
 	}
 	if c.lq != nil {
@@ -393,7 +406,7 @@ func (c *Core) dispatch(now int64) {
 		if op == nil {
 			return
 		}
-		if c.n >= len(c.rob) || c.iqCount() >= c.cfg.IQSize {
+		if c.n >= len(c.rob) || c.iqN >= c.cfg.IQSize {
 			return
 		}
 		if op.Class == isa.Store && c.sq.Full() {
@@ -445,15 +458,6 @@ func (c *Core) dispatch(now int64) {
 		c.acct.Inc(c.hROB, energy.Write, 1)
 		c.acct.Inc(c.hIQ, energy.Write, 1)
 		c.n++
+		c.iqN++
 	}
-}
-
-func (c *Core) iqCount() int {
-	k := 0
-	for i := 0; i < c.n; i++ {
-		if c.at(i).inIQ {
-			k++
-		}
-	}
-	return k
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,8 +38,29 @@ func (o Options) fill(s *Spec) {
 	s.Seed = o.Seed
 }
 
+// traceLen returns the dynamic trace length a Run of these Options needs,
+// applying the same defaulting Run and fill do. runMatrix keys the trace
+// cache with it so pre-resolved traces match what Run would generate.
+func (o Options) traceLen() int {
+	ops := o.Ops
+	if ops <= 0 {
+		ops = DefaultOps
+	}
+	warm := o.Warmup
+	if warm == 0 {
+		warm = DefaultWarmup
+	}
+	if warm < 0 {
+		warm = 0
+	}
+	return ops + warm
+}
+
 // runMatrix executes specs[i] for every app in parallel and returns
-// results indexed [app][i]. It fails fast on the first error.
+// results indexed [app][i]. Each app's trace is resolved once up front
+// through the shared cache and handed to every spec in the column, so a
+// figure never generates the same trace twice. All worker errors are
+// aggregated (not just the first).
 func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result, error) {
 	apps := o.apps()
 	type job struct {
@@ -47,17 +69,21 @@ func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result,
 		s   Spec
 	}
 	var jobs []job
+	out := make(map[string][]Result, len(apps))
+	n := o.traceLen()
 	for _, app := range apps {
+		tr, err := SharedTrace(app, n, o.Seed)
+		if err != nil {
+			return nil, err
+		}
 		specs := mkSpecs(app)
+		out[app] = make([]Result, len(specs))
 		for i, s := range specs {
 			s.Workload = app
 			o.fill(&s)
+			s.Trace = tr
 			jobs = append(jobs, job{app, i, s})
 		}
-	}
-	out := make(map[string][]Result, len(apps))
-	for _, app := range apps {
-		out[app] = make([]Result, len(mkSpecs(app)))
 	}
 	var (
 		mu   sync.Mutex
@@ -82,8 +108,8 @@ func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result,
 		}(j)
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

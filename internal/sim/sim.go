@@ -16,7 +16,6 @@ import (
 	"casino/internal/slice"
 	"casino/internal/specino"
 	"casino/internal/trace"
-	"casino/internal/workload"
 )
 
 // Model names accepted by Spec.Model.
@@ -64,6 +63,8 @@ type Spec struct {
 	MemCfg     *mem.Config
 
 	// Reuse a pre-generated trace (takes precedence over Workload/Seed).
+	// The trace may be shared with concurrent runs: it is read-only once
+	// handed to Run (see the trace package's read-only contract).
 	Trace *trace.Trace
 }
 
@@ -110,11 +111,15 @@ func Run(s Spec) (Result, error) {
 	}
 	tr := s.Trace
 	if tr == nil {
-		p, err := workload.ByName(s.Workload)
+		// Resolve through the process-wide cache: repeated runs of the
+		// same (workload, length, seed) — every figure sweep — share one
+		// generated trace. Traces are read-only once published (see the
+		// trace package contract), so sharing across goroutines is safe.
+		var err error
+		tr, err = SharedTrace(s.Workload, s.Warmup+s.Ops, s.Seed)
 		if err != nil {
 			return Result{}, err
 		}
-		tr = workload.Generate(p, s.Warmup+s.Ops, s.Seed)
 	}
 	memCfg := mem.DefaultConfig()
 	if s.MemCfg != nil {

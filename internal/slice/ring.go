@@ -1,0 +1,50 @@
+package slice
+
+// entRing is a fixed-capacity FIFO of entry pointers. The slice core's
+// queues (A/B/Y-IQ), the in-flight window and the in-flight store list all
+// push at the tail and pop at the head, so a ring avoids the re-slicing
+// and append-regrowth churn of a plain []*entry on the cycle path.
+type entRing struct {
+	buf  []*entry
+	head int
+	n    int
+}
+
+func newEntRing(capacity int) entRing { return entRing{buf: make([]*entry, capacity)} }
+
+func (r *entRing) len() int { return r.n }
+
+func (r *entRing) cap() int { return len(r.buf) }
+
+// at returns the i-th oldest entry. head+i < 2*cap always holds, so a
+// compare-and-subtract replaces the integer division of a modulo.
+func (r *entRing) at(i int) *entry {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return r.buf[j]
+}
+
+func (r *entRing) pushBack(e *entry) {
+	if r.n == len(r.buf) {
+		panic("slice: ring overflow")
+	}
+	j := r.head + r.n
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	r.buf[j] = e
+	r.n++
+}
+
+func (r *entRing) popFront() *entry {
+	e := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return e
+}

@@ -61,13 +61,34 @@ func DefaultConfig(kind Kind) Config {
 	}
 }
 
+// entry is an in-flight instruction. Entries are pooled on a per-core
+// freelist and recycled at commit, so the producer references prod1/prod2/
+// waw are weak: they must be read through liveEnt with the captured
+// sequence number, never dereferenced raw. A recycled producer had
+// committed (issued, done <= commit cycle), so a stale reference reads as
+// "complete" either way — liveEnt just makes that explicit and safe
+// against reuse.
 type entry struct {
-	op     *isa.MicroOp
-	issued bool
-	done   int64
-	prod1  *entry // exact producer tracking (scoreboard stand-in)
-	prod2  *entry
-	waw    *entry // older writer of the same register, must issue first
+	op       *isa.MicroOp
+	issued   bool
+	done     int64
+	prod1    *entry // exact producer tracking (scoreboard stand-in)
+	prod2    *entry
+	waw      *entry // older writer of the same register, must issue first
+	prodSeq1 uint64
+	prodSeq2 uint64
+	wawSeq   uint64
+}
+
+// liveEnt validates a weak producer reference: it returns p only if p still
+// holds the op whose sequence number was captured alongside the pointer.
+// A mismatch means the producer committed and its entry was recycled for a
+// younger op — i.e. the producer is architecturally complete.
+func liveEnt(p *entry, seq uint64) *entry {
+	if p == nil || p.op.Seq != seq {
+		return nil
+	}
+	return p
 }
 
 // Core is a slice-out-of-order core (LSC or Freeway).
@@ -80,8 +101,10 @@ type Core struct {
 	acct *energy.Accountant
 	sb   *lsu.StoreQueue
 
-	aq, bq, yq []*entry
-	window     []*entry // program-ordered in-flight window (commit from head)
+	aq, bq, yq entRing
+	window     entRing // program-ordered in-flight window (commit from head)
+	stores     entRing // program-ordered in-flight (uncommitted) stores
+	free       []*entry
 
 	ist        map[uint64]bool         // instruction slice table: PCs in AG slices
 	istOrder   []uint64                // FIFO eviction for the bounded IST
@@ -112,6 +135,11 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 		sb:   lsu.NewStoreQueue(cfg.SBSize),
 		ist:  make(map[uint64]bool, cfg.ISTSize),
 	}
+	c.aq = newEntRing(cfg.AQSize)
+	c.bq = newEntRing(cfg.BQSize)
+	c.yq = newEntRing(cfg.YQSize)
+	c.window = newEntRing(cfg.WindowSize)
+	c.stores = newEntRing(cfg.WindowSize)
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
 		tr.Reader(), bpred.NewPredictor(), hier, acct)
@@ -140,8 +168,24 @@ func (c *Core) Mispredicts() uint64 { return c.fe.Mispredicts }
 
 // Done reports pipeline drain.
 func (c *Core) Done() bool {
-	return c.fe.Done() && len(c.window) == 0 && c.sb.Len() == 0
+	return c.fe.Done() && c.window.len() == 0 && c.sb.Len() == 0
 }
+
+// alloc takes an entry from the freelist (or the heap) and resets it.
+func (c *Core) alloc(op *isa.MicroOp) *entry {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free = c.free[:n-1]
+		*e = entry{op: op}
+		return e
+	}
+	return &entry{op: op}
+}
+
+// recycle returns a committed entry to the freelist. The op pointer is
+// intentionally kept until reuse so stale weak references can still
+// compare sequence numbers (see liveEnt).
+func (c *Core) recycle(e *entry) { c.free = append(c.free, e) }
 
 // Cycle advances one clock.
 func (c *Core) Cycle() {
@@ -165,27 +209,37 @@ func (c *Core) retireStores(now int64) {
 	c.sb.PopRetired(now)
 }
 
-// commit retires completed instructions in program order.
+// commit retires completed instructions in program order and recycles
+// their entries onto the freelist.
 func (c *Core) commit(now int64) {
-	for k := 0; k < c.cfg.Width && len(c.window) > 0; k++ {
-		e := c.window[0]
+	for k := 0; k < c.cfg.Width && c.window.len() > 0; k++ {
+		e := c.window.at(0)
 		if !e.issued || e.done > now {
 			return
 		}
-		if e.op.Class == isa.Store {
+		op := e.op
+		if op.Class == isa.Store {
 			if c.sb.Full() {
 				return
 			}
-			c.sb.Dispatch(e.op.Seq, e.op.PC)
-			c.sb.Resolve(e.op.Seq, e.op.Addr, e.op.Size, now, e.done)
-			c.sb.Commit(e.op.Seq)
+			c.sb.Dispatch(op.Seq, op.PC)
+			c.sb.Resolve(op.Seq, op.Addr, op.Size, now, e.done)
+			c.sb.Commit(op.Seq)
 			c.acct.Inc(c.hSB, energy.Write, 1)
+			c.stores.popFront() // commit is in order, so e is the oldest store
 		}
 		if c.OnCommit != nil {
-			c.OnCommit(e.op.Seq)
+			c.OnCommit(op.Seq)
 		}
-		c.window = c.window[1:]
+		c.window.popFront()
 		c.committed++
+		// A committed producer reads as complete either way; dropping the
+		// lastWriter reference here keeps the table pointing only at
+		// in-flight entries so the freelist can reuse this one.
+		if op.HasDst() && c.lastWriter[op.Dst] == e {
+			c.lastWriter[op.Dst] = nil
+		}
+		c.recycle(e)
 	}
 }
 
@@ -200,16 +254,16 @@ func (c *Core) issue(now int64) {
 	c.issueQueue(&c.aq, c.hAQ, now, &slots)
 }
 
-func (c *Core) issueQueue(q *[]*entry, handle int, now int64, slots *int) {
-	for *slots > 0 && len(*q) > 0 {
-		e := (*q)[0]
+func (c *Core) issueQueue(q *entRing, handle int, now int64, slots *int) {
+	for *slots > 0 && q.len() > 0 {
+		e := q.at(0)
 		if !c.ready(e, now) {
 			return
 		}
 		if !c.fus.Issue(e.op.Class, now) {
 			return
 		}
-		*q = (*q)[1:]
+		q.popFront()
 		c.acct.Inc(handle, energy.Read, 1)
 		c.execute(e, now)
 		*slots--
@@ -218,10 +272,14 @@ func (c *Core) issueQueue(q *[]*entry, handle int, now int64, slots *int) {
 
 func (c *Core) ready(e *entry, now int64) bool {
 	c.acct.Inc(c.hSCB, energy.Read, 1)
-	for _, p := range [...]*entry{e.prod1, e.prod2, e.waw} {
-		if p != nil && (!p.issued || p.done > now) {
-			return false
-		}
+	if p := liveEnt(e.prod1, e.prodSeq1); p != nil && (!p.issued || p.done > now) {
+		return false
+	}
+	if p := liveEnt(e.prod2, e.prodSeq2); p != nil && (!p.issued || p.done > now) {
+		return false
+	}
+	if p := liveEnt(e.waw, e.wawSeq); p != nil && (!p.issued || p.done > now) {
+		return false
 	}
 	if e.op.Class == isa.Load {
 		// Conservative memory ordering: wait for all older stores to
@@ -234,11 +292,14 @@ func (c *Core) ready(e *entry, now int64) bool {
 }
 
 func (c *Core) anyOlderUnresolvedStore(e *entry) bool {
-	for _, w := range c.window {
-		if w == e {
+	// The stores ring holds exactly the uncommitted stores in program
+	// order, so this scan touches only stores instead of the whole window.
+	for i := 0; i < c.stores.len(); i++ {
+		w := c.stores.at(i)
+		if w.op.Seq >= e.op.Seq {
 			return false
 		}
-		if w.op.Class == isa.Store && (!w.issued || w.done > c.now) {
+		if !w.issued || w.done > c.now {
 			return true
 		}
 	}
@@ -270,11 +331,12 @@ func (c *Core) execute(e *entry, now int64) {
 }
 
 func (c *Core) forwardFromStores(op *isa.MicroOp) bool {
-	for _, w := range c.window {
+	for i := 0; i < c.stores.len(); i++ {
+		w := c.stores.at(i)
 		if w.op.Seq >= op.Seq {
 			break
 		}
-		if w.op.Class == isa.Store && w.issued && w.op.Overlaps(op) {
+		if w.issued && w.op.Overlaps(op) {
 			return true
 		}
 	}
@@ -303,7 +365,7 @@ func (c *Core) dispatch() {
 		if op == nil {
 			return
 		}
-		if len(c.window) >= c.cfg.WindowSize {
+		if c.window.len() >= c.window.cap() {
 			return
 		}
 		isSlice := op.Class.IsMem() || c.ist[op.PC]
@@ -313,20 +375,31 @@ func (c *Core) dispatch() {
 		if isSlice {
 			target, handle = &c.bq, c.hBQ
 		}
-		e := &entry{op: op}
+		// Producers are captured before the entry is materialised so a
+		// capacity stall below does not consume a pooled entry. lastWriter
+		// only holds in-flight entries (commit clears it), so the captured
+		// pointers are live here.
+		var p1, p2 *entry
 		if op.Src1.Valid() {
-			e.prod1 = c.lastWriter[op.Src1]
+			p1 = c.lastWriter[op.Src1]
 		}
 		if op.Src2.Valid() {
-			e.prod2 = c.lastWriter[op.Src2]
+			p2 = c.lastWriter[op.Src2]
 		}
-		if isSlice && c.cfg.Kind == Freeway && c.dependsOnInFlightSliceLoad(e) {
+		if isSlice && c.cfg.Kind == Freeway && c.dependsOnInFlightSliceLoad(p1, p2) {
 			target, handle = &c.yq, c.hYQ
 		}
-		if len(*target) >= c.capOf(target) {
+		if target.len() >= target.cap() {
 			return
 		}
 		c.fe.Pop()
+		e := c.alloc(op)
+		if p1 != nil {
+			e.prod1, e.prodSeq1 = p1, p1.op.Seq
+		}
+		if p2 != nil {
+			e.prod2, e.prodSeq2 = p2, p2.op.Seq
+		}
 		// IBDA training: mark the producers of this slice op's sources.
 		if isSlice {
 			c.SliceOps++
@@ -336,32 +409,26 @@ func (c *Core) dispatch() {
 			c.trainIBDA(op)
 		}
 		if op.HasDst() {
-			e.waw = c.lastWriter[op.Dst]
+			if w := c.lastWriter[op.Dst]; w != nil {
+				e.waw, e.wawSeq = w, w.op.Seq
+			}
 			c.lastWriter[op.Dst] = e
 			c.rdt[op.Dst] = op.PC
 			c.acct.Inc(c.hRDT, energy.Write, 1)
 		}
-		*target = append(*target, e)
-		c.window = append(c.window, e)
+		target.pushBack(e)
+		c.window.pushBack(e)
+		if op.Class == isa.Store {
+			c.stores.pushBack(e)
+		}
 		c.acct.Inc(handle, energy.Write, 1)
-	}
-}
-
-func (c *Core) capOf(q *[]*entry) int {
-	switch q {
-	case &c.aq:
-		return c.cfg.AQSize
-	case &c.bq:
-		return c.cfg.BQSize
-	default:
-		return c.cfg.YQSize
 	}
 }
 
 // dependsOnInFlightSliceLoad implements Freeway's dependent-slice test:
 // the op consumes a value produced by a load that has not completed.
-func (c *Core) dependsOnInFlightSliceLoad(e *entry) bool {
-	for _, p := range [...]*entry{e.prod1, e.prod2} {
+func (c *Core) dependsOnInFlightSliceLoad(p1, p2 *entry) bool {
+	for _, p := range [...]*entry{p1, p2} {
 		if p == nil {
 			continue
 		}

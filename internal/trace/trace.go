@@ -10,9 +10,45 @@ import (
 )
 
 // Trace is an immutable dynamic instruction stream.
+//
+// Read-only contract: a Trace may be shared by any number of concurrently
+// running cores (the sim package caches and reuses generated traces across
+// an entire experiment matrix). After construction, nothing may write to
+// Ops or hand out mutable access to it — cores receive ops as *isa.MicroOp
+// only to avoid copies, never to modify them. Fingerprint captures the
+// contents so the harness can verify the contract after a run.
 type Trace struct {
 	Name string
 	Ops  []isa.MicroOp
+}
+
+// Fingerprint returns an FNV-1a hash over every architecturally relevant
+// field of every op. Two traces with equal fingerprints replay identically;
+// a changed fingerprint after a run means a core violated the read-only
+// contract.
+func (t *Trace) Fingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		mix(op.Seq)
+		mix(op.PC)
+		mix(op.Addr)
+		mix(op.Target)
+		b := uint64(op.Class) | uint64(op.Dst)<<8 | uint64(op.Src1)<<16 | uint64(op.Src2)<<24 |
+			uint64(op.Size)<<32
+		if op.Taken {
+			b |= 1 << 40
+		}
+		mix(b)
+	}
+	return h
 }
 
 // Len returns the number of dynamic micro-ops.

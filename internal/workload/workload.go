@@ -80,6 +80,11 @@ const segmentOps = 2048
 
 // Generate produces a trace of at least n dynamic micro-ops for profile p.
 // The same (p, n, seed) always yields an identical trace.
+//
+// The returned trace is freshly allocated and owned by the caller until it
+// is published; once handed to a core or the sim trace cache it falls under
+// the trace package's read-only contract and may be shared across
+// goroutines without synchronisation.
 func Generate(p *Profile, n int, seed int64) *trace.Trace {
 	if n <= 0 {
 		n = 1
