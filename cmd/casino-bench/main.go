@@ -1,11 +1,17 @@
 // Command casino-bench regenerates the paper's tables and figures as text
-// tables.
+// tables, exports machine-readable run manifests, and diffs two manifests
+// for regression gating.
 //
 // Usage:
 //
 //	casino-bench -fig 6                  # Fig. 6 over all 25 workloads
 //	casino-bench -fig all -ops 100000    # the whole evaluation section
 //	casino-bench -fig 8 -apps mcf,milc   # a subset of applications
+//	casino-bench -fig all -json run.json # versioned run manifest
+//	casino-bench compare golden/fig_all.json run.json
+//
+// compare exits non-zero when any metric drifts outside its tolerance
+// band, printing one line per offending metric.
 package main
 
 import (
@@ -14,21 +20,28 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"casino"
+	"casino/internal/manifest"
 	"casino/internal/sim"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
+
 	var (
 		fig        = flag.String("fig", "6", "figure id ("+strings.Join(casino.Figures(), ", ")+") or 'all'")
 		ops        = flag.Int("ops", 60000, "measured instructions per run")
 		warmup     = flag.Int("warmup", 15000, "warm-up instructions per run")
 		seed       = flag.Int64("seed", 1, "workload generation seed")
 		apps       = flag.String("apps", "", "comma-separated workload subset (default: all 25)")
-		jsonOut    = flag.String("json", "", "write raw per-app results as JSON to this file (fig2/fig6 only)")
+		jsonOut    = flag.String("json", "", "write a versioned run manifest as JSON to this file (any fig, or 'all')")
+		rawOut     = flag.String("raw", "", "write raw per-app results as JSON to this file (fig2/fig6 only)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -37,12 +50,10 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -68,25 +79,36 @@ func main() {
 	if *apps != "" {
 		o.Apps = strings.Split(*apps, ",")
 	}
+	so := sim.Options{Ops: o.Ops, Warmup: o.Warmup, Seed: o.Seed, Apps: o.Apps}
 
 	if *jsonOut != "" {
-		so := sim.Options{Ops: o.Ops, Warmup: o.Warmup, Seed: o.Seed, Apps: o.Apps}
+		start := time.Now()
+		m, err := sim.BuildManifest(*fig, so)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.WriteFile(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s manifest (%d metrics, %.1fs) to %s\n",
+			*fig, len(m.Metrics), time.Since(start).Seconds(), *jsonOut)
+		return
+	}
+
+	if *rawOut != "" {
 		suite, err := sim.RunSuiteJSON(*fig, so)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		f, err := os.Create(*jsonOut)
+		f, err := os.Create(*rawOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := suite.ExportJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		f.Close()
-		fmt.Printf("wrote %s results to %s\n", *fig, *jsonOut)
+		fmt.Printf("wrote %s results to %s\n", *fig, *rawOut)
 		return
 	}
 
@@ -103,4 +125,85 @@ func main() {
 		}
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), out)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "casino-bench: %v\n", err)
+	os.Exit(1)
+}
+
+// tolFlag collects repeatable -mtol name=rel[:abs] per-metric overrides.
+// name may end in '*' for a prefix match (longest pattern wins).
+type tolFlag map[string]manifest.Tolerance
+
+func (t tolFlag) String() string { return fmt.Sprint(map[string]manifest.Tolerance(t)) }
+
+func (t tolFlag) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=rel[:abs], got %q", v)
+	}
+	relS, absS, hasAbs := strings.Cut(spec, ":")
+	var tol manifest.Tolerance
+	var err error
+	if tol.Rel, err = strconv.ParseFloat(relS, 64); err != nil {
+		return fmt.Errorf("bad rel in %q: %v", v, err)
+	}
+	if hasAbs {
+		if tol.Abs, err = strconv.ParseFloat(absS, 64); err != nil {
+			return fmt.Errorf("bad abs in %q: %v", v, err)
+		}
+	}
+	t[name] = tol
+	return nil
+}
+
+// runCompare diffs two manifests and returns the process exit code:
+// 0 on match, 1 on drift, 2 on usage/IO errors.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var (
+		rel        = fs.Float64("rel", manifest.DefaultTolerance.Rel, "default relative tolerance band")
+		abs        = fs.Float64("abs", manifest.DefaultTolerance.Abs, "default absolute tolerance floor")
+		allowExtra = fs.Bool("allow-extra", false, "tolerate metrics present only in the candidate")
+		perMetric  = tolFlag{}
+	)
+	fs.Var(perMetric, "mtol", "per-metric tolerance override, name=rel[:abs]; repeatable; name may end in '*'")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: casino-bench compare [flags] golden.json candidate.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	golden, err := manifest.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casino-bench compare: golden: %v\n", err)
+		return 2
+	}
+	cand, err := manifest.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casino-bench compare: candidate: %v\n", err)
+		return 2
+	}
+
+	opt := manifest.CompareOptions{
+		Default:    manifest.Tolerance{Rel: *rel, Abs: *abs},
+		PerMetric:  perMetric,
+		AllowExtra: *allowExtra,
+	}
+	diffs := manifest.Compare(golden, cand, opt)
+	if len(diffs) == 0 {
+		fmt.Printf("compare: OK — %d metrics within tolerance (rel %g, abs %g)\n",
+			len(golden.Metrics), *rel, *abs)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "compare: FAIL — %d difference(s) vs %s:\n", len(diffs), fs.Arg(0))
+	for _, d := range diffs {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+	return 1
 }

@@ -119,6 +119,14 @@ type Core struct {
 	PassedToIQ      uint64
 	ProducerDist    *stats.Hist // IQ distance producer→passed consumer (§II-C)
 
+	// Per-structure occupancy histograms, sampled once per cycle (entries
+	// resident at cycle start). Buckets cover 0..capacity so steady-state
+	// sampling never allocates or overflows.
+	OccSIQ *stats.Hist // first S-IQ
+	OccIQ  *stats.Hist // final in-order IQ
+	OccROB *stats.Hist
+	OccSQ  *stats.Hist
+
 	// Head-of-S-IQ stall diagnostics (why the head could not exit).
 	StallIQFull    uint64 // pass blocked: next queue full
 	StallPReg      uint64 // issue blocked: no free physical register
@@ -143,6 +151,10 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 		sq:           lsu.NewStoreQueue(cfg.SQSize),
 		rob:          newOpRing(cfg.ROBSize),
 		ProducerDist: stats.NewHist(16),
+		OccSIQ:       stats.NewHist(cfg.SIQSize + 1),
+		OccIQ:        stats.NewHist(cfg.IQSize + 1),
+		OccROB:       stats.NewHist(cfg.ROBSize + 1),
+		OccSQ:        stats.NewHist(cfg.SQSize + 1),
 	}
 	if cfg.OSCASize > 0 && cfg.Disambig == DisambigOSCA {
 		max := uint8(cfg.SQSize)
@@ -237,6 +249,10 @@ func (c *Core) RemoteStats() (invals, withheld, delayCycles uint64) {
 // Cycle advances the core by one clock.
 func (c *Core) Cycle() {
 	now := c.now
+	c.OccSIQ.Add(c.queues[0].len())
+	c.OccIQ.Add(c.queues[len(c.queues)-1].len())
+	c.OccROB.Add(c.rob.len())
+	c.OccSQ.Add(c.sq.Len())
 	c.remote.tick(now, c.lineSent, c.rob.len())
 	c.retireStores(now)
 	c.commit(now)

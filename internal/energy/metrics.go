@@ -1,0 +1,59 @@
+package energy
+
+import (
+	"sort"
+
+	"casino/internal/stats"
+)
+
+// kindSuffix maps event kinds to metric-name suffixes.
+func kindSuffix(k EventKind) string {
+	switch k {
+	case Read:
+		return "reads"
+	case Write:
+		return "writes"
+	default:
+		return "searches"
+	}
+}
+
+// PublishMetrics snapshots the accountant's per-structure access counts
+// and shared activity into the registry under the "acct." prefix, plus
+// the evaluated per-block dynamic energy under "energy_pj." and areas
+// under "area_mm2.". Counts cover the whole run (warm-up included); the
+// harness's measurement-window energy deltas live on the Result instead.
+func (a *Accountant) PublishMetrics(r *stats.Registry) {
+	for i, s := range a.structs {
+		base := "acct." + s.Name + "."
+		for k := EventKind(0); k < numKinds; k++ {
+			if k == Search && !s.CAM {
+				continue
+			}
+			r.Counter(base+kindSuffix(k), a.Count(i, k))
+		}
+	}
+	r.Counter("acct.intOps", a.IntOps)
+	r.Counter("acct.fpOps", a.FPOps)
+	r.Counter("acct.aguOps", a.AGUOps)
+	r.Counter("acct.frontend", a.Frontend)
+	r.Counter("acct.bpredOps", a.BpredOps)
+	r.Counter("acct.l1Access", a.L1Access)
+	r.Counter("acct.cycles", a.Cycles)
+	publishSorted(r, "energy_pj.", a.EnergyBreakdown())
+	publishSorted(r, "area_mm2.", a.AreaBreakdown())
+	r.Gauge("area_mm2.total", a.Area())
+}
+
+// publishSorted registers a breakdown map's entries in sorted-name order
+// so the registry's registration order stays run-to-run deterministic.
+func publishSorted(r *stats.Registry, prefix string, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r.Gauge(prefix+k, m[k])
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"casino/internal/lsu"
 	"casino/internal/mem"
 	"casino/internal/pipeline"
+	"casino/internal/stats"
 	"casino/internal/trace"
 )
 
@@ -107,6 +108,11 @@ type Core struct {
 	LoadsForwarded uint64
 	IssueStallsSrc uint64 // cycles head stalled on operands (stall-on-use)
 	IssueStallsRes uint64 // cycles head stalled on FUs/window/SB
+
+	// Per-structure occupancy histograms, sampled once per cycle.
+	OccIQ  *stats.Hist
+	OccSCB *stats.Hist
+	OccSB  *stats.Hist
 }
 
 // New builds an in-order core running the given trace.
@@ -119,6 +125,10 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 		sb:   lsu.NewStoreQueue(cfg.SBSize),
 		iq:   newEntRing(cfg.IQSize),
 		win:  newEntRing(cfg.SCBSize),
+
+		OccIQ:  stats.NewHist(cfg.IQSize + 1),
+		OccSCB: stats.NewHist(cfg.SCBSize + 1),
+		OccSB:  stats.NewHist(cfg.SBSize + 1),
 	}
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
@@ -147,6 +157,9 @@ func (c *Core) Mispredicts() uint64 { return c.fe.Mispredicts }
 // Cycle advances the core by one clock.
 func (c *Core) Cycle() {
 	now := c.now
+	c.OccIQ.Add(c.iq.len())
+	c.OccSCB.Add(c.win.len())
+	c.OccSB.Add(c.sb.Len())
 	c.retireStores(now)
 	c.writeback(now)
 	c.issue(now)

@@ -1,0 +1,170 @@
+package manifest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Tolerance is a per-metric acceptance band. A candidate value passes when
+// |got-want| <= max(Abs, Rel*|want|); the boundary is inclusive, so a
+// delta exactly at the band edge is not drift.
+type Tolerance struct {
+	Rel float64 // relative band, as a fraction of |want|
+	Abs float64 // absolute band floor (covers want == 0)
+}
+
+// Allows reports whether got is within the band around want.
+func (t Tolerance) Allows(want, got float64) bool {
+	band := t.Abs
+	if rel := t.Rel * math.Abs(want); rel > band {
+		band = rel
+	}
+	return math.Abs(got-want) <= band
+}
+
+// Default tolerances: the simulator is bit-deterministic for a fixed
+// seed, so the relative band only needs to absorb math-library ulp
+// differences across Go releases/architectures, while staying far below
+// any real model-parameter perturbation (which moves geomeans by >>0.1%).
+var DefaultTolerance = Tolerance{Rel: 1e-3, Abs: 1e-9}
+
+// CompareOptions parameterizes Compare.
+type CompareOptions struct {
+	// Default applies to every metric without a PerMetric entry. The
+	// zero value means DefaultTolerance.
+	Default Tolerance
+	// PerMetric overrides the band for exact metric names, or for name
+	// prefixes when the key ends in "*" (longest match wins).
+	PerMetric map[string]Tolerance
+	// AllowExtra tolerates metrics present only in the candidate (new
+	// instrumentation that the golden predates). Metrics missing from
+	// the candidate are always drift.
+	AllowExtra bool
+}
+
+func (o CompareOptions) tolerance(metric string) Tolerance {
+	if t, ok := o.PerMetric[metric]; ok {
+		return t
+	}
+	best, bestLen := Tolerance{}, -1
+	for pat, t := range o.PerMetric {
+		if strings.HasSuffix(pat, "*") && strings.HasPrefix(metric, pat[:len(pat)-1]) && len(pat) > bestLen {
+			best, bestLen = t, len(pat)
+		}
+	}
+	if bestLen >= 0 {
+		return best
+	}
+	if o.Default == (Tolerance{}) {
+		return DefaultTolerance
+	}
+	return o.Default
+}
+
+// Diff kinds.
+const (
+	DiffSpec        = "spec"        // run parameters differ; nothing is comparable
+	DiffFingerprint = "fingerprint" // workload trace changed
+	DiffDrift       = "drift"       // metric outside its tolerance band
+	DiffMissing     = "missing"     // golden metric absent from candidate
+	DiffUnexpected  = "unexpected"  // candidate metric absent from golden
+)
+
+// Diff is one detected divergence between two manifests.
+type Diff struct {
+	Kind   string
+	Metric string // metric name, fingerprint app, or spec field
+	Want   float64
+	Got    float64
+	Detail string
+}
+
+func (d Diff) String() string {
+	switch d.Kind {
+	case DiffDrift:
+		rel := math.Abs(d.Got-d.Want) / math.Max(math.Abs(d.Want), 1e-300)
+		return fmt.Sprintf("drift     %-60s want %.6g got %.6g (Δ %+.4g, %.2f%%)",
+			d.Metric, d.Want, d.Got, d.Got-d.Want, 100*rel)
+	case DiffMissing:
+		return fmt.Sprintf("missing   %-60s golden %.6g, absent from candidate", d.Metric, d.Want)
+	case DiffUnexpected:
+		return fmt.Sprintf("unexpected %-59s candidate %.6g, absent from golden", d.Metric, d.Got)
+	default:
+		return fmt.Sprintf("%-9s %-60s %s", d.Kind, d.Metric, d.Detail)
+	}
+}
+
+// Compare diffs the candidate manifest against the golden one and returns
+// every divergence, sorted by (kind, name) for stable output. An empty
+// slice means the candidate reproduces the golden within tolerance.
+func Compare(golden, got *Manifest, opt CompareOptions) []Diff {
+	var diffs []Diff
+	specField := func(name, want, gotv string) {
+		if want != gotv {
+			diffs = append(diffs, Diff{Kind: DiffSpec, Metric: name,
+				Detail: fmt.Sprintf("golden %s, candidate %s", want, gotv)})
+		}
+	}
+	specField("figure", golden.Figure, got.Figure)
+	specField("kind", golden.Kind, got.Kind)
+	specField("ops", fmt.Sprint(golden.Ops), fmt.Sprint(got.Ops))
+	specField("warmup", fmt.Sprint(golden.Warmup), fmt.Sprint(got.Warmup))
+	specField("seed", fmt.Sprint(golden.Seed), fmt.Sprint(got.Seed))
+	specField("apps", strings.Join(golden.Apps, ","), strings.Join(got.Apps, ","))
+	if len(diffs) > 0 {
+		// Different experiments: metric diffs would be pure noise.
+		return diffs
+	}
+
+	for _, app := range sortedKeys(golden.Workloads) {
+		want := golden.Workloads[app]
+		gotFP, ok := got.Workloads[app]
+		if !ok {
+			diffs = append(diffs, Diff{Kind: DiffFingerprint, Metric: app,
+				Detail: fmt.Sprintf("golden %s, absent from candidate", want)})
+			continue
+		}
+		if gotFP != want {
+			diffs = append(diffs, Diff{Kind: DiffFingerprint, Metric: app,
+				Detail: fmt.Sprintf("golden %s, candidate %s (workload generator changed)", want, gotFP)})
+		}
+	}
+
+	for _, name := range sortedKeys(golden.Metrics) {
+		want := golden.Metrics[name]
+		gotV, ok := got.Metrics[name]
+		if !ok {
+			diffs = append(diffs, Diff{Kind: DiffMissing, Metric: name, Want: want})
+			continue
+		}
+		if !opt.tolerance(name).Allows(want, gotV) {
+			diffs = append(diffs, Diff{Kind: DiffDrift, Metric: name, Want: want, Got: gotV})
+		}
+	}
+	if !opt.AllowExtra {
+		for _, name := range sortedKeys(got.Metrics) {
+			if _, ok := golden.Metrics[name]; !ok {
+				diffs = append(diffs, Diff{Kind: DiffUnexpected, Metric: name, Got: got.Metrics[name]})
+			}
+		}
+	}
+
+	sort.SliceStable(diffs, func(i, j int) bool {
+		if diffs[i].Kind != diffs[j].Kind {
+			return diffs[i].Kind < diffs[j].Kind
+		}
+		return diffs[i].Metric < diffs[j].Metric
+	})
+	return diffs
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

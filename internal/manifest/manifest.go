@@ -1,0 +1,131 @@
+// Package manifest defines the versioned, machine-readable record of one
+// experiment run: which figures ran, under what spec (ops, warm-up, seed,
+// apps), the fingerprints of the workload traces that were replayed, and
+// every metric the run produced as a flat name → value map. Checked-in
+// golden manifests turn the paper-reproduction numbers in EXPERIMENTS.md
+// into executable assertions: `casino-bench compare` diffs two manifests
+// with per-metric tolerance bands and exits non-zero on drift.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Version is the manifest schema version. Decode rejects any other value:
+// a version bump means the metric naming or spec encoding changed, and a
+// silent cross-version comparison would report drift where there is only
+// renaming.
+const Version = 1
+
+// Manifest is the machine-readable outcome of one casino-bench run.
+type Manifest struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"` // "casino-bench/figures"
+
+	// The experiment spec: which figure set, over which workloads, how
+	// many instructions and which generation seed. Compare requires these
+	// to match exactly — diffing runs of different experiments is a
+	// category error, not drift.
+	Figure string   `json:"figure"` // figure id, or "all"
+	Ops    int      `json:"ops"`
+	Warmup int      `json:"warmup"`
+	Seed   int64    `json:"seed"`
+	Apps   []string `json:"apps"`
+
+	// Workloads maps app name → the %016x FNV-1a fingerprint of its
+	// generated trace. A fingerprint mismatch means the workload
+	// generator changed: every downstream metric is then incomparable.
+	Workloads map[string]string `json:"workload_fingerprints"`
+
+	// Metrics is the flat registry snapshot: figure aggregates (geomean
+	// speedups, energy ratios) plus per-model means of the per-run
+	// metrics. All drift gating happens here.
+	Metrics map[string]float64 `json:"metrics"`
+
+	// Informational environment fields, never compared.
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	GoVersion   string  `json:"go_version"`
+}
+
+// KindFigures is the Kind value written by casino-bench figure runs.
+const KindFigures = "casino-bench/figures"
+
+// New returns an empty manifest at the current schema version.
+func New(figure string) *Manifest {
+	return &Manifest{
+		Version:   Version,
+		Kind:      KindFigures,
+		Figure:    figure,
+		Workloads: map[string]string{},
+		Metrics:   map[string]float64{},
+	}
+}
+
+// VersionError reports a manifest whose schema version this binary does
+// not speak.
+type VersionError struct {
+	Got int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("manifest: version %d not supported (want %d)", e.Got, Version)
+}
+
+// Decode reads a manifest from r, rejecting unknown schema versions with
+// a *VersionError.
+func Decode(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("manifest: decode: %w", err)
+	}
+	if m.Version != Version {
+		return nil, &VersionError{Got: m.Version}
+	}
+	if m.Metrics == nil {
+		m.Metrics = map[string]float64{}
+	}
+	if m.Workloads == nil {
+		m.Workloads = map[string]string{}
+	}
+	return &m, nil
+}
+
+// Encode writes the manifest as indented JSON (sorted keys, trailing
+// newline) so checked-in goldens diff cleanly.
+func (m *Manifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadFile loads a manifest from path.
+func ReadFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,82 @@
+package manifest
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() *Manifest {
+	m := New("fig6")
+	m.Ops, m.Warmup, m.Seed = 60000, 15000, 1
+	m.Apps = []string{"mcf", "milc"}
+	m.Workloads["mcf"] = "00deadbeef00cafe"
+	m.Workloads["milc"] = "0123456789abcdef"
+	m.Metrics["fig6.norm_ipc_geomean.CASINO"] = 1.384
+	m.Metrics["fig6.norm_ipc_geomean.OoO"] = 1.707
+	m.WallSeconds = 12.5
+	m.AllocBytes = 1 << 20
+	m.GoVersion = "go1.24.0"
+	return m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sample()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+func TestManifestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	m := sample()
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	for _, v := range []string{"0", "2", "999"} {
+		in := `{"version": ` + v + `, "kind": "casino-bench/figures", "figure": "fig6"}`
+		_, err := Decode(strings.NewReader(in))
+		var ve *VersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("version %s: err = %v, want *VersionError", v, err)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage input should fail to decode")
+	}
+}
+
+func TestDecodeFillsNilMaps(t *testing.T) {
+	in := `{"version": 1, "kind": "casino-bench/figures", "figure": "fig6"}`
+	m, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics == nil || m.Workloads == nil {
+		t.Fatal("decoded manifest must have non-nil maps")
+	}
+}

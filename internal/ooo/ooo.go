@@ -19,6 +19,7 @@ import (
 	"casino/internal/mem"
 	"casino/internal/pipeline"
 	"casino/internal/regfile"
+	"casino/internal/stats"
 	"casino/internal/trace"
 )
 
@@ -122,6 +123,12 @@ type Core struct {
 	Flushes        uint64
 	LoadsForwarded uint64
 	SpecLoads      uint64
+
+	// Per-structure occupancy histograms, sampled once per cycle.
+	OccROB *stats.Hist
+	OccIQ  *stats.Hist // ROB entries waiting in the scheduler
+	OccSQ  *stats.Hist
+	OccLQ  *stats.Hist // nil when cfg.NoLQ
 }
 
 // New builds an OoO core over the trace.
@@ -135,9 +142,14 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 		sq:   lsu.NewStoreQueue(cfg.SQSize),
 		ss:   newStoreSets(cfg.SSClearInterval),
 		rob:  make([]robEntry, cfg.ROBSize),
+
+		OccROB: stats.NewHist(cfg.ROBSize + 1),
+		OccIQ:  stats.NewHist(cfg.IQSize + 1),
+		OccSQ:  stats.NewHist(cfg.SQSize + 1),
 	}
 	if !cfg.NoLQ {
 		c.lq = lsu.NewLoadQueue(cfg.LQSize)
+		c.OccLQ = stats.NewHist(cfg.LQSize + 1)
 	}
 	acct.FrontendScale = 1.4 // 9-stage pipeline vs the 7-stage InO
 	c.fe = frontend.New(
@@ -176,6 +188,12 @@ func (c *Core) Done() bool {
 // Cycle advances one clock.
 func (c *Core) Cycle() {
 	now := c.now
+	c.OccROB.Add(c.n)
+	c.OccIQ.Add(c.iqN)
+	c.OccSQ.Add(c.sq.Len())
+	if c.OccLQ != nil {
+		c.OccLQ.Add(c.lq.Len())
+	}
 	c.retireStores(now)
 	c.commit(now)
 	c.issue(now)

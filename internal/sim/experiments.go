@@ -60,13 +60,18 @@ func (o Options) traceLen() int {
 // results indexed [app][i]. Each app's trace is resolved once up front
 // through the shared cache and handed to every spec in the column, so a
 // figure never generates the same trace twice. All worker errors are
-// aggregated (not just the first).
+// aggregated (not just the first), each naming its (app, model[index])
+// cell. An app with any failed cell is dropped from the result map
+// entirely — a column with zero-valued Results would silently corrupt the
+// figure's normalizations — so on partial failure callers get the error
+// plus only the complete columns.
 func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result, error) {
 	apps := o.apps()
 	type job struct {
-		app string
-		i   int
-		s   Spec
+		app   string
+		i     int
+		model string
+		s     Spec
 	}
 	var jobs []job
 	out := make(map[string][]Result, len(apps))
@@ -82,14 +87,15 @@ func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result,
 			s.Workload = app
 			o.fill(&s)
 			s.Trace = tr
-			jobs = append(jobs, job{app, i, s})
+			jobs = append(jobs, job{app, i, s.Model, s})
 		}
 	}
 	var (
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-		sem  = make(chan struct{}, runtime.GOMAXPROCS(0))
-		errs []error
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, runtime.GOMAXPROCS(0))
+		errs   []error
+		failed map[string]bool
 	)
 	for _, j := range jobs {
 		wg.Add(1)
@@ -101,17 +107,74 @@ func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result,
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				errs = append(errs, fmt.Errorf("%s[%d]: %w", j.app, j.i, err))
+				errs = append(errs, fmt.Errorf("cell (%s, %s[%d]): %w", j.app, j.model, j.i, err))
+				if failed == nil {
+					failed = make(map[string]bool)
+				}
+				failed[j.app] = true
 				return
 			}
 			out[j.app][j.i] = r
 		}(j)
 	}
 	wg.Wait()
+	for app := range failed {
+		delete(out, app)
+	}
 	if err := errors.Join(errs...); err != nil {
-		return nil, err
+		return out, err
 	}
 	return out, nil
+}
+
+// suiteDef is one per-app figure suite: the spec column labels and the
+// builder producing the specs for an app. Fig2/Fig6, the raw-JSON export
+// and the manifest builder all share these definitions, so a spec change
+// shows up consistently in the rendered table, the export and the golden
+// gating.
+type suiteDef struct {
+	labels []string
+	mk     func(app string) []Spec
+}
+
+// figSuite returns the suite definition for the per-app IPC figures.
+func figSuite(fig string) (suiteDef, bool) {
+	switch fig {
+	case "fig2":
+		ws := func(w, so int, nonMem bool) *specino.Config {
+			c := specino.DefaultConfig(w, so)
+			c.NonMemOnly = nonMem
+			return &c
+		}
+		return suiteDef{
+			labels: []string{"InO", "SpecInO[2,2] Non-mem", "SpecInO[2,2] All",
+				"SpecInO[2,1] Non-mem", "SpecInO[2,1] All", "OoO"},
+			mk: func(string) []Spec {
+				return []Spec{
+					{Model: ModelInO},
+					{Model: ModelSpecInO, SpecInOCfg: ws(2, 2, true)},
+					{Model: ModelSpecInO, SpecInOCfg: ws(2, 2, false)},
+					{Model: ModelSpecInO, SpecInOCfg: ws(2, 1, true)},
+					{Model: ModelSpecInO, SpecInOCfg: ws(2, 1, false)},
+					{Model: ModelOoO},
+				}
+			},
+		}, true
+	case "fig6":
+		return suiteDef{
+			labels: []string{"InO", "LSC", "Freeway", "CASINO", "OoO"},
+			mk: func(string) []Spec {
+				return []Spec{
+					{Model: ModelInO},
+					{Model: ModelLSC},
+					{Model: ModelFreeway},
+					{Model: ModelCASINO},
+					{Model: ModelOoO},
+				}
+			},
+		}, true
+	}
+	return suiteDef{}, false
 }
 
 // Table1 renders the machine configurations (the paper's Table I).
@@ -136,46 +199,23 @@ func Table1() *stats.Table {
 // Fig2 reproduces Figure 2: the SpecInO limit study. Returns the table and
 // the geomean normalized IPC per scheduling model.
 func Fig2(o Options) (*stats.Table, map[string]float64, error) {
-	ws := func(w, so int, nonMem bool) *specino.Config {
-		c := specino.DefaultConfig(w, so)
-		c.NonMemOnly = nonMem
-		return &c
-	}
-	names := []string{"InO", "SpecInO[2,2] Non-mem", "SpecInO[2,2] All",
-		"SpecInO[2,1] Non-mem", "SpecInO[2,1] All", "OoO"}
-	res, err := runMatrix(o, func(string) []Spec {
-		return []Spec{
-			{Model: ModelInO},
-			{Model: ModelSpecInO, SpecInOCfg: ws(2, 2, true)},
-			{Model: ModelSpecInO, SpecInOCfg: ws(2, 2, false)},
-			{Model: ModelSpecInO, SpecInOCfg: ws(2, 1, true)},
-			{Model: ModelSpecInO, SpecInOCfg: ws(2, 1, false)},
-			{Model: ModelOoO},
-		}
-	})
+	def, _ := figSuite("fig2")
+	res, err := runMatrix(o, def.mk)
 	if err != nil {
 		return nil, nil, err
 	}
-	return normalizedIPCTable(o, names, res)
+	return normalizedIPCTable(o, def.labels, res)
 }
 
 // Fig6 reproduces Figure 6: IPC of LSC, Freeway, CASINO and OoO normalized
 // to InO, per application plus geomean.
 func Fig6(o Options) (*stats.Table, map[string]float64, error) {
-	names := []string{"InO", "LSC", "Freeway", "CASINO", "OoO"}
-	res, err := runMatrix(o, func(string) []Spec {
-		return []Spec{
-			{Model: ModelInO},
-			{Model: ModelLSC},
-			{Model: ModelFreeway},
-			{Model: ModelCASINO},
-			{Model: ModelOoO},
-		}
-	})
+	def, _ := figSuite("fig6")
+	res, err := runMatrix(o, def.mk)
 	if err != nil {
 		return nil, nil, err
 	}
-	return normalizedIPCTable(o, names, res)
+	return normalizedIPCTable(o, def.labels, res)
 }
 
 // normalizedIPCTable builds a per-app table of IPCs normalized to the

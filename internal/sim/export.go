@@ -17,37 +17,18 @@ type SuiteResult struct {
 
 // RunSuiteJSON executes the figure's underlying run matrix and returns the
 // raw results for external consumption (plotting scripts, regression
-// diffing). Supported figures: fig2, fig6 (the per-app IPC suites).
+// diffing). Supported figures: fig2, fig6 (the per-app IPC suites); the
+// spec columns are the same suite definitions the figure tables render.
 func RunSuiteJSON(fig string, o Options) (*SuiteResult, error) {
-	var labels []string
-	var mk func(string) []Spec
-	switch fig {
-	case "fig2":
-		labels = []string{"InO", "SpecInO[2,2]nm", "SpecInO[2,2]", "SpecInO[2,1]nm", "SpecInO[2,1]", "OoO"}
-		mk = func(string) []Spec {
-			mkc := func(w, so int, nm bool) Spec {
-				c := DefaultSpecInO(w, so)
-				c.NonMemOnly = nm
-				return Spec{Model: ModelSpecInO, SpecInOCfg: &c}
-			}
-			return []Spec{{Model: ModelInO}, mkc(2, 2, true), mkc(2, 2, false), mkc(2, 1, true), mkc(2, 1, false), {Model: ModelOoO}}
-		}
-	case "fig6":
-		labels = []string{"InO", "LSC", "Freeway", "CASINO", "OoO"}
-		mk = func(string) []Spec {
-			return []Spec{
-				{Model: ModelInO}, {Model: ModelLSC}, {Model: ModelFreeway},
-				{Model: ModelCASINO}, {Model: ModelOoO},
-			}
-		}
-	default:
+	def, ok := figSuite(fig)
+	if !ok {
 		return nil, errUnknownSuite(fig)
 	}
-	res, err := runMatrix(o, mk)
+	res, err := runMatrix(o, def.mk)
 	if err != nil {
 		return nil, err
 	}
-	return &SuiteResult{Figure: fig, Options: o, Results: res, Labels: labels}, nil
+	return &SuiteResult{Figure: fig, Options: o, Results: res, Labels: def.labels}, nil
 }
 
 type errUnknownSuite string

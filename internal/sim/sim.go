@@ -15,6 +15,7 @@ import (
 	"casino/internal/ooo"
 	"casino/internal/slice"
 	"casino/internal/specino"
+	"casino/internal/stats"
 	"casino/internal/trace"
 )
 
@@ -86,7 +87,15 @@ type Result struct {
 	// (performance/energy): IPC per nJ-per-instruction.
 	PerfPerEnergy float64
 
+	// Extra is the flattened metrics-registry snapshot: every counter,
+	// ratio and histogram summary the model and the energy accountant
+	// published for this run (whole-run totals, warm-up included).
+	// Histograms appear as <name>.mean / <name>.count pairs.
 	Extra map[string]float64
+
+	// Metrics is the typed view of the same registry snapshot, in
+	// publish order.
+	Metrics []stats.Metric `json:"Metrics,omitempty"`
 
 	// EnergyParts and AreaParts break the totals down per structure /
 	// fixed block (the data behind the paper's stacked bars in Fig. 9).
@@ -128,7 +137,7 @@ func Run(s Spec) (Result, error) {
 	hier := mem.NewHierarchy(memCfg)
 	acct := energy.NewAccountant()
 
-	c, extra, err := build(s, tr, hier, acct)
+	c, publish, err := build(s, tr, hier, acct)
 	if err != nil {
 		return Result{}, err
 	}
@@ -169,6 +178,9 @@ func Run(s Spec) (Result, error) {
 	instrs := c.Committed() - warm
 	dyn := acct.DynamicEnergy() - dyn0
 	static := acct.StaticEnergyOver(cycles)
+	reg := stats.NewRegistry()
+	publish(reg)
+	acct.PublishMetrics(reg)
 	res := Result{
 		Model:        s.Model,
 		Workload:     tr.Name,
@@ -178,7 +190,8 @@ func Run(s Spec) (Result, error) {
 		StaticPJ:     static,
 		TotalPJ:      dyn + static,
 		AreaMM2:      acct.Area(),
-		Extra:        extra(),
+		Extra:        reg.Flatten(),
+		Metrics:      reg.Metrics(),
 		EnergyParts:  acct.EnergyBreakdown(),
 		AreaParts:    acct.AreaBreakdown(),
 	}
@@ -194,9 +207,18 @@ func Run(s Spec) (Result, error) {
 	return res, nil
 }
 
-// build constructs the model and returns it plus a closure harvesting
-// model-specific statistics after the run.
-func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) (Core, func() map[string]float64, error) {
+// build constructs the model and returns it plus the publisher that
+// snapshots its counters and histograms into a metrics registry after the
+// run. Legacy LQ alias metrics are kept for the disambiguation figures:
+// CASINO's and OoO's load-queue activity lives in the energy accountant
+// (the structure only exists in some configurations), so build bridges it
+// under the historical lqReads/lqWrites/lqSearches names.
+func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) (Core, func(*stats.Registry), error) {
+	lqAliases := func(r *stats.Registry) {
+		r.Counter("lqReads", acct.CountByName("LQ", energy.Read))
+		r.Counter("lqWrites", acct.CountByName("LQ", energy.Write))
+		r.Counter("lqSearches", acct.CountByName("LQ", energy.Search))
+	}
 	switch s.Model {
 	case ModelInO:
 		cfg := ino.DefaultConfig()
@@ -204,12 +226,7 @@ func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant
 			cfg = *s.InOCfg
 		}
 		c := ino.New(cfg, tr, hier, acct)
-		return c, func() map[string]float64 {
-			return map[string]float64{
-				"mispredicts": float64(c.Mispredicts()),
-				"forwards":    float64(c.LoadsForwarded),
-			}
-		}, nil
+		return c, c.PublishMetrics, nil
 	case ModelOoO, ModelOoONoLQ:
 		cfg := ooo.DefaultConfig()
 		if s.OoOCfg != nil {
@@ -219,16 +236,10 @@ func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant
 			cfg.NoLQ = true
 		}
 		c := ooo.New(cfg, tr, hier, acct)
-		return c, func() map[string]float64 {
-			return map[string]float64{
-				"mispredicts": float64(c.Mispredicts()),
-				"violations":  float64(c.Violations),
-				"forwards":    float64(c.LoadsForwarded),
-				"lqReads":     float64(acct.CountByName("LQ", energy.Read)),
-				"lqWrites":    float64(acct.CountByName("LQ", energy.Write)),
-				"lqSearches":  float64(acct.CountByName("LQ", energy.Search)),
-				"sqSearches":  float64(acct.CountByName("SQ", energy.Search)),
-			}
+		return c, func(r *stats.Registry) {
+			c.PublishMetrics(r)
+			lqAliases(r)
+			r.Counter("sqSearches", acct.CountByName("SQ", energy.Search))
 		}, nil
 	case ModelCASINO:
 		cfg := core.DefaultConfig()
@@ -236,37 +247,9 @@ func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant
 			cfg = *s.CasinoCfg
 		}
 		c := core.New(cfg, tr, hier, acct)
-		return c, func() map[string]float64 {
-			total := float64(c.IssuedSIQMem + c.IssuedSIQNonMem + c.IssuedIQMem + c.IssuedIQNonMem)
-			ex := map[string]float64{
-				"mispredicts":  float64(c.Mispredicts()),
-				"violations":   float64(c.Violations),
-				"regAllocs":    float64(c.RegAllocs()),
-				"sqSearches":   float64(c.StoreQueue().Searches),
-				"lqReads":      float64(acct.CountByName("LQ", energy.Read)),
-				"lqWrites":     float64(acct.CountByName("LQ", energy.Write)),
-				"lqSearches":   float64(acct.CountByName("LQ", energy.Search)),
-				"siqMem":       float64(c.IssuedSIQMem),
-				"siqNonMem":    float64(c.IssuedSIQNonMem),
-				"iqMem":        float64(c.IssuedIQMem),
-				"iqNonMem":     float64(c.IssuedIQNonMem),
-				"producerDist": c.ProducerDist.Mean(),
-			}
-			if total > 0 {
-				ex["siqFrac"] = float64(c.IssuedSIQMem+c.IssuedSIQNonMem) / total
-			}
-			if o := c.OSCA(); o != nil {
-				ex["oscaLookups"] = float64(o.Lookups)
-				ex["oscaSkips"] = float64(o.Skips)
-			}
-			set, cleared, _ := c.LineSentinels()
-			ex["lineSentinelsSet"] = float64(set)
-			ex["lineSentinelsCleared"] = float64(cleared)
-			invals, withheld, delay := c.RemoteStats()
-			ex["remoteInvals"] = float64(invals)
-			ex["remoteWithheld"] = float64(withheld)
-			ex["remoteDelayCyc"] = float64(delay)
-			return ex
+		return c, func(r *stats.Registry) {
+			c.PublishMetrics(r)
+			lqAliases(r)
 		}, nil
 	case ModelLSC, ModelFreeway:
 		kind := slice.LSC
@@ -278,26 +261,14 @@ func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant
 			cfg = *s.SliceCfg
 		}
 		c := slice.New(cfg, tr, hier, acct)
-		return c, func() map[string]float64 {
-			return map[string]float64{
-				"mispredicts": float64(c.Mispredicts()),
-				"sliceOps":    float64(c.SliceOps),
-				"yieldedOps":  float64(c.YieldedOps),
-			}
-		}, nil
+		return c, c.PublishMetrics, nil
 	case ModelSpecInO:
 		cfg := specino.DefaultConfig(2, 1)
 		if s.SpecInOCfg != nil {
 			cfg = *s.SpecInOCfg
 		}
 		c := specino.New(cfg, tr, hier, acct)
-		return c, func() map[string]float64 {
-			return map[string]float64{
-				"specFrac":   c.SpecFraction(),
-				"oooFrac":    c.OoOFraction(),
-				"specIssued": float64(c.SpecIssued),
-			}
-		}, nil
+		return c, c.PublishMetrics, nil
 	default:
 		return nil, nil, fmt.Errorf("sim: unknown model %q (known: %v)", s.Model, Models())
 	}

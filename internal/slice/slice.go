@@ -20,6 +20,7 @@ import (
 	"casino/internal/lsu"
 	"casino/internal/mem"
 	"casino/internal/pipeline"
+	"casino/internal/stats"
 	"casino/internal/trace"
 )
 
@@ -123,6 +124,13 @@ type Core struct {
 	SliceOps   uint64 // ops dispatched to the B-IQ (or Y-IQ)
 	YieldedOps uint64 // ops dispatched to the Y-IQ (Freeway)
 	Forwards   uint64
+
+	// Per-structure occupancy histograms, sampled once per cycle.
+	OccAQ     *stats.Hist
+	OccBQ     *stats.Hist
+	OccYQ     *stats.Hist // nil unless Freeway
+	OccWindow *stats.Hist
+	OccSB     *stats.Hist
 }
 
 // New builds a slice core over the trace.
@@ -140,6 +148,13 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	c.yq = newEntRing(cfg.YQSize)
 	c.window = newEntRing(cfg.WindowSize)
 	c.stores = newEntRing(cfg.WindowSize)
+	c.OccAQ = stats.NewHist(cfg.AQSize + 1)
+	c.OccBQ = stats.NewHist(cfg.BQSize + 1)
+	if cfg.Kind == Freeway {
+		c.OccYQ = stats.NewHist(cfg.YQSize + 1)
+	}
+	c.OccWindow = stats.NewHist(cfg.WindowSize + 1)
+	c.OccSB = stats.NewHist(cfg.SBSize + 1)
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
 		tr.Reader(), bpred.NewPredictor(), hier, acct)
@@ -190,6 +205,13 @@ func (c *Core) recycle(e *entry) { c.free = append(c.free, e) }
 // Cycle advances one clock.
 func (c *Core) Cycle() {
 	now := c.now
+	c.OccAQ.Add(c.aq.len())
+	c.OccBQ.Add(c.bq.len())
+	if c.OccYQ != nil {
+		c.OccYQ.Add(c.yq.len())
+	}
+	c.OccWindow.Add(c.window.len())
+	c.OccSB.Add(c.sb.Len())
 	c.retireStores(now)
 	c.commit(now)
 	c.issue(now)
