@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,7 @@ func main() {
 		apps       = flag.String("apps", "", "comma-separated workload subset (default: all 25)")
 		jsonOut    = flag.String("json", "", "write a versioned run manifest as JSON to this file (any fig, or 'all')")
 		rawOut     = flag.String("raw", "", "write raw per-app results as JSON to this file (fig2/fig6 only)")
+		perfOut    = flag.String("perf", "", "write a per-figure wall-time / cycles-per-second summary as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -116,15 +118,72 @@ func main() {
 	if *fig == "all" {
 		ids = casino.Figures()
 	}
+	perf := perfSummary{
+		Schema: "casino-bench-perf/v1",
+		Go:     runtime.Version(),
+		OS:     runtime.GOOS, Arch: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		Ops: o.Ops, Warmup: o.Warmup, Seed: o.Seed,
+		FastForward: os.Getenv("CASINO_NO_FASTFORWARD") == "",
+	}
 	for _, id := range ids {
 		start := time.Now()
+		cyc0 := sim.SimulatedCycles()
 		out, err := casino.Figure(id, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "casino-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), out)
+		wall := time.Since(start).Seconds()
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, wall, out)
+		e := perfEntry{Fig: id, WallSeconds: wall, SimCycles: sim.SimulatedCycles() - cyc0}
+		if wall > 0 {
+			e.CyclesPerSecond = float64(e.SimCycles) / wall
+		}
+		perf.Figures = append(perf.Figures, e)
+		perf.Total.WallSeconds += e.WallSeconds
+		perf.Total.SimCycles += e.SimCycles
 	}
+	if *perfOut != "" {
+		perf.Total.Fig = "total"
+		if perf.Total.WallSeconds > 0 {
+			perf.Total.CyclesPerSecond = float64(perf.Total.SimCycles) / perf.Total.WallSeconds
+		}
+		b, err := json.MarshalIndent(perf, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*perfOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote perf summary (%d figures, %.2e cycles/s overall) to %s\n",
+			len(perf.Figures), perf.Total.CyclesPerSecond, *perfOut)
+	}
+}
+
+// perfEntry is one figure's simulation-throughput record.
+type perfEntry struct {
+	Fig             string  `json:"fig"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+}
+
+// perfSummary is the -perf output: the wall-clock trajectory record behind
+// the checked-in bench/BENCH_*.json files (see EXPERIMENTS.md). SimCycles
+// counts fast-forwarded cycles too, so cycles-per-second reflects the
+// simulated clock, not host work.
+type perfSummary struct {
+	Schema      string      `json:"schema"`
+	Go          string      `json:"go"`
+	OS          string      `json:"os"`
+	Arch        string      `json:"arch"`
+	CPUs        int         `json:"cpus"`
+	Ops         int         `json:"ops"`
+	Warmup      int         `json:"warmup"`
+	Seed        int64       `json:"seed"`
+	FastForward bool        `json:"fast_forward"`
+	Figures     []perfEntry `json:"figures"`
+	Total       perfEntry   `json:"total"`
 }
 
 func fatal(err error) {

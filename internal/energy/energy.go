@@ -139,6 +139,16 @@ type Accountant struct {
 	// deeper pipelines (the 9-stage CASINO/OoO vs the 7-stage InO) pay
 	// more latch/control energy per instruction. Zero means 1.0.
 	FrontendScale float64
+
+	// snap holds the BeginDelta snapshot used by ScaleDelta. The counts
+	// buffer is reused across calls so fast-forwarding stays allocation-free.
+	snap deltaSnap
+}
+
+// deltaSnap is a point-in-time copy of every accumulated count.
+type deltaSnap struct {
+	counts                                                []uint64
+	intOps, fpOps, aguOps, frontend, bpredOps, l1, cycles uint64
 }
 
 // NewAccountant creates an empty accountant.
@@ -174,6 +184,43 @@ func (a *Accountant) CountByName(name string, k EventKind) uint64 {
 		return a.Count(h, k)
 	}
 	return 0
+}
+
+// BeginDelta snapshots every accumulated count so a later ScaleDelta can
+// replicate whatever activity happens in between. Used by the fast-forward
+// engine: the core runs ONE real idle cycle between BeginDelta and
+// ScaleDelta(n), and the accountant then bills the identical charge pattern
+// for the n cycles being skipped. Snapshots do not nest.
+func (a *Accountant) BeginDelta() {
+	a.snap.counts = append(a.snap.counts[:0], a.counts...)
+	a.snap.intOps = a.IntOps
+	a.snap.fpOps = a.FPOps
+	a.snap.aguOps = a.AGUOps
+	a.snap.frontend = a.Frontend
+	a.snap.bpredOps = a.BpredOps
+	a.snap.l1 = a.L1Access
+	a.snap.cycles = a.Cycles
+}
+
+// ScaleDelta adds m extra copies of everything accumulated since the last
+// BeginDelta (including Cycles). With m==0 it is a no-op.
+func (a *Accountant) ScaleDelta(m uint64) {
+	if m == 0 {
+		return
+	}
+	if len(a.snap.counts) != len(a.counts) {
+		panic("energy: ScaleDelta after structures were registered mid-delta")
+	}
+	for i := range a.counts {
+		a.counts[i] += (a.counts[i] - a.snap.counts[i]) * m
+	}
+	a.IntOps += (a.IntOps - a.snap.intOps) * m
+	a.FPOps += (a.FPOps - a.snap.fpOps) * m
+	a.AGUOps += (a.AGUOps - a.snap.aguOps) * m
+	a.Frontend += (a.Frontend - a.snap.frontend) * m
+	a.BpredOps += (a.BpredOps - a.snap.bpredOps) * m
+	a.L1Access += (a.L1Access - a.snap.l1) * m
+	a.Cycles += (a.Cycles - a.snap.cycles) * m
 }
 
 // StructArea returns the summed area of registered structures plus the

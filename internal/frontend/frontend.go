@@ -108,6 +108,25 @@ func (f *FrontEnd) Cycle(now int64) {
 	}
 }
 
+// noEvent mirrors lsu.NoEvent: no progress through time alone.
+const noEvent = int64(1) << 62
+
+// NextFetchEvent returns the earliest cycle >= now at which Cycle(now)
+// could do anything: now when fetch would proceed (or hit the I-cache and
+// mutate it), the stall expiry while refilling, and a far-future sentinel
+// when fetch is blocked on something only the core can clear (an unresolved
+// mispredicted branch, a full dispatch buffer, an exhausted trace) — those
+// unblock via core events the fast-forward probe already tracks.
+func (f *FrontEnd) NextFetchEvent(now int64) int64 {
+	if f.blockedOn != NoSeq || len(f.buf) >= f.cfg.BufCap || f.rd.Peek(0) == nil {
+		return noEvent
+	}
+	if now < f.stallUntil {
+		return f.stallUntil
+	}
+	return now
+}
+
 // BufLen returns the number of buffered decoded ops.
 func (f *FrontEnd) BufLen() int { return len(f.buf) }
 

@@ -1,0 +1,138 @@
+package ino
+
+import (
+	"casino/internal/isa"
+)
+
+// noEvent mirrors lsu.NoEvent: no progress through the passage of time.
+const noEvent = int64(1) << 62
+
+// NextEvent returns the earliest cycle >= now at which Cycle() could change
+// any observable state: commit/write-back, store retirement, an issue, a
+// dispatch, a fetch, or a flip of a *published counter's* charge pattern
+// (the stall-reason counters flip when the head's operands become ready
+// even if the issue itself stays blocked, so that time is an event too).
+// Returning now means "cannot prove this cycle idle"; the driver then
+// simulates it normally. Under-estimating the horizon is always safe — the
+// driver just probes again — so every blocked condition either contributes
+// the absolute cycle it unblocks at, or is left to the event that must
+// strictly precede it (e.g. a full SCB window drains only via write-back,
+// whose head time is already a candidate).
+func (c *Core) NextEvent() int64 {
+	now := c.now
+	next := noEvent
+	add := func(t int64) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+
+	// Store-buffer retirement (head store starts or completes its cache
+	// update).
+	if t := c.sb.RetireEvent(now); t <= now {
+		return now
+	} else {
+		add(t)
+	}
+
+	// In-order write-back from the SCB window head.
+	if c.win.len() > 0 {
+		e := c.win.at(0)
+		wb := e.done
+		if wb < c.lastWB {
+			wb = c.lastWB
+		}
+		if wb > now {
+			add(wb)
+		} else if e.op.Class != isa.Store || !c.sb.Full() {
+			return now // write-back proceeds this cycle
+		}
+		// Store blocked on a full SB: unblocks via the SB retire event.
+	}
+
+	// Issue from the IQ head (stall-on-use: only the head matters).
+	if c.iq.len() > 0 {
+		op := c.iq.at(0).op
+		var ready int64
+		for _, s := range [...]isa.Reg{op.Src1, op.Src2} {
+			if s.Valid() && c.regReady[s] > ready {
+				ready = c.regReady[s]
+			}
+		}
+		switch {
+		case ready > now:
+			add(ready) // operand arrival (also flips stall.src → stall.res)
+		case c.win.len() >= c.cfg.SCBSize:
+			// Window full: drains via write-back, covered above.
+		case !c.fus.CanIssue(op.Class, now):
+			add(c.fus.NextFree(op.Class, now))
+		default:
+			return now // head issues this cycle
+		}
+	}
+
+	// Dispatch and fetch.
+	if c.fe.BufLen() > 0 && c.iq.len() < c.cfg.IQSize {
+		return now
+	}
+	if t := c.fe.NextFetchEvent(now); t <= now {
+		return now
+	} else {
+		add(t)
+	}
+	return next
+}
+
+// ffSig is a cheap progress signature: if any field changes across a cycle,
+// that cycle was not idle.
+type ffSig struct {
+	committed, fetched, issued, l1 uint64
+	iq, win, sb, buf               int
+}
+
+func (c *Core) ffSig() ffSig {
+	return ffSig{
+		committed: c.committed,
+		fetched:   c.fe.Fetched,
+		issued:    c.fus.IssuedTotal(),
+		l1:        c.acct.L1Access,
+		iq:        c.iq.len(),
+		win:       c.win.len(),
+		sb:        c.sb.Len(),
+		buf:       c.fe.BufLen(),
+	}
+}
+
+// FastForward advances the clock to cycle `to`, where NextEvent() proved
+// cycles [now, to) idle. It simulates the first of those cycles for real —
+// Cycle() remains the single source of truth for per-cycle accounting —
+// then replays that cycle's accounting deltas (energy counts, stall
+// counters, occupancy samples) for the remaining to-now-1 copies in bulk
+// and jumps the clock. A changed progress signature after the embedded
+// cycle means NextEvent was wrong, which would silently corrupt results,
+// so it panics instead.
+func (c *Core) FastForward(to int64) {
+	n := to - c.now - 1
+	if n < 0 {
+		return
+	}
+	sig := c.ffSig()
+	c.acct.BeginDelta()
+	src0, res0, sbReads0 := c.IssueStallsSrc, c.IssueStallsRes, c.sb.Reads
+	c.Cycle()
+	if c.ffSig() != sig {
+		panic("ino: FastForward across a non-idle cycle (NextEvent bug)")
+	}
+	if n == 0 {
+		return
+	}
+	un := uint64(n)
+	c.acct.ScaleDelta(un)
+	c.IssueStallsSrc += (c.IssueStallsSrc - src0) * un
+	c.IssueStallsRes += (c.IssueStallsRes - res0) * un
+	c.sb.Reads += (c.sb.Reads - sbReads0) * un
+	c.OccIQ.AddN(c.iq.len(), un)
+	c.OccSCB.AddN(c.win.len(), un)
+	c.OccSB.AddN(c.sb.Len(), un)
+	c.now += n
+}

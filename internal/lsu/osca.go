@@ -73,6 +73,18 @@ func (o *OSCA) CanInc(addr uint64, size uint8) bool {
 	return ok
 }
 
+// PeekCanInc is the side-effect-free variant of CanInc (no Saturated
+// count), used by the fast-forward probes.
+func (o *OSCA) PeekCanInc(addr uint64, size uint8) bool {
+	ok := true
+	o.each(addr, size, func(i int) {
+		if o.counters[i] >= o.max {
+			ok = false
+		}
+	})
+	return ok
+}
+
 // Inc counts an issued store over its byte range.
 func (o *OSCA) Inc(addr uint64, size uint8) {
 	o.Incs++

@@ -1,0 +1,130 @@
+package mem
+
+import "testing"
+
+// The fast-forward driver jumps the clock to load-completion times, so the
+// hierarchy's completion cycles are load-bearing in a new way: a merge that
+// reported a completion earlier than the fill it merged with would hand the
+// driver an event horizon in the past of real work. These tests pin the
+// invariant at both the MSHR and the Hierarchy level.
+
+// TestMSHRMergeNeverEarlierThanFill checks the raw MSHR file: a Lookup that
+// merges with an outstanding fill reports exactly that fill's ready cycle,
+// and the entry expires once the fill completes.
+func TestMSHRMergeNeverEarlierThanFill(t *testing.T) {
+	m := NewMSHRs(4)
+	const line, fillReady = 0x1000, int64(250)
+	if start := m.Allocate(line, 10); start != 10 {
+		t.Fatalf("Allocate with free slots delayed start to %d", start)
+	}
+	m.Complete(line, fillReady)
+	for _, probe := range []int64{11, 100, fillReady - 1} {
+		ready, out := m.Lookup(line, probe)
+		if !out {
+			t.Fatalf("fill not outstanding at %d", probe)
+		}
+		if ready != fillReady {
+			t.Errorf("merge at %d returned %d, want the fill's ready %d", probe, ready, fillReady)
+		}
+	}
+	if _, out := m.Lookup(line, fillReady); out {
+		t.Error("fill still outstanding at its own ready cycle")
+	}
+	if m.Merges != 3 {
+		t.Errorf("Merges = %d, want 3", m.Merges)
+	}
+}
+
+// TestMSHRAllocateStallsWhenFull checks that with every slot busy, a new
+// miss starts no earlier than the soonest slot release — never in the past
+// of the fills occupying the file.
+func TestMSHRAllocateStallsWhenFull(t *testing.T) {
+	m := NewMSHRs(2)
+	m.Allocate(0x100, 0)
+	m.Complete(0x100, 300)
+	m.Allocate(0x200, 0)
+	m.Complete(0x200, 200)
+	start := m.Allocate(0x300, 5)
+	if start != 200 {
+		t.Errorf("full MSHRs: start = %d, want the earliest slot release 200", start)
+	}
+	if m.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", m.Stalls)
+	}
+}
+
+// TestHierarchyMergeCompletionOrdering drives the full Load path: a miss
+// that goes to DRAM, then same-line loads during the fill — both the
+// tag-already-installed (hit-under-miss) case and the tag-miss case — must
+// complete no earlier than the fill they merge with, and no earlier than
+// their own L1 pipeline floor.
+func TestHierarchyMergeCompletionOrdering(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrefetchDegree = 0 // keep DRAM timing attributable to the one miss
+	h := NewHierarchy(cfg)
+	const addr = uint64(0x4_0000)
+
+	done1, lvl1 := h.Load(0x40, addr, 100)
+	if lvl1 != LvlMem {
+		t.Fatalf("first access level = %v, want Mem", lvl1)
+	}
+	if done1 <= 100+int64(cfg.L1Latency+cfg.L2Latency) {
+		t.Fatalf("first miss completed at %d — did not reach DRAM", done1)
+	}
+
+	// The tag is installed, so this load hits L1 but must ride the fill.
+	done2, lvl2 := h.Load(0x44, addr+8, 120)
+	if lvl2 != LvlMem {
+		t.Errorf("hit-under-miss level = %v, want Mem", lvl2)
+	}
+	if done2 < done1 {
+		t.Errorf("hit-under-miss completed at %d, before the fill at %d", done2, done1)
+	}
+
+	// A different line mapping to a fresh miss immediately followed by its
+	// own merge: the merged completion keeps the L1-latency floor even when
+	// the fill is (artificially) nearly done.
+	_, merges, _ := h.MSHRStats()
+	if merges == 0 {
+		t.Error("no MSHR merge recorded for the hit-under-miss load")
+	}
+
+	// Late merge just before completion. The tag hit forwards straight from
+	// the in-flight fill (no second L1 pipeline pass), so the only floor is
+	// the fill itself: completion must never precede it.
+	tLate := done1 - 1
+	done3, _ := h.Load(0x48, addr+16, tLate)
+	if done3 < done1 {
+		t.Errorf("late merge completed at %d, before the fill at %d", done3, done1)
+	}
+	if done3 <= tLate {
+		t.Errorf("late merge completed at %d, not after its own issue at %d", done3, tLate)
+	}
+
+	// After the fill lands, the line is a plain L1 hit.
+	done4, lvl4 := h.Load(0x4c, addr, done1+10)
+	if lvl4 != LvlL1 || done4 != done1+10+int64(cfg.L1Latency) {
+		t.Errorf("post-fill access: level %v done %d, want L1 hit at +%d", lvl4, done4, cfg.L1Latency)
+	}
+}
+
+// TestHierarchyStoreMergeOrdering checks the same invariant on the store
+// path (stores update the cache at SB retirement, and the SB retire event
+// feeds the fast-forward horizon directly).
+func TestHierarchyStoreMergeOrdering(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrefetchDegree = 0
+	h := NewHierarchy(cfg)
+	const addr = uint64(0x8_0000)
+	done1, lvl1 := h.Load(0x40, addr, 50)
+	if lvl1 != LvlMem {
+		t.Fatalf("priming load level = %v, want Mem", lvl1)
+	}
+	sDone := h.Store(0x50, addr+8, 60)
+	if sDone < done1 {
+		t.Errorf("store merged with outstanding fill completed at %d, before the fill at %d", sDone, done1)
+	}
+	if floor := int64(60 + cfg.L1Latency); sDone < floor {
+		t.Errorf("store completed at %d, before its L1 floor %d", sDone, floor)
+	}
+}

@@ -1,0 +1,149 @@
+package ooo
+
+import (
+	"casino/internal/isa"
+	"casino/internal/lsu"
+	"casino/internal/regfile"
+)
+
+// noEvent mirrors lsu.NoEvent: no progress through the passage of time.
+const noEvent = int64(1) << 62
+
+// NextEvent returns the earliest cycle >= now at which Cycle() could change
+// observable state. The OoO scheduler examines every IQ entry each cycle,
+// so the probe scans the same set, collecting each entry's operand-arrival
+// time; entries blocked on another instruction's issue (producer not
+// issued, store-set wait on an unresolved store) contribute no time — that
+// blocking instruction's own issue is itself a tracked event and must come
+// first. Probes are side-effect-free (Peek* accessors), so probing a
+// stalled core never perturbs the energy model's activity counts.
+func (c *Core) NextEvent() int64 {
+	now := c.now
+	next := noEvent
+	add := func(t int64) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+
+	// Store retirement.
+	if t := c.sq.RetireEvent(now); t <= now {
+		return now
+	} else {
+		add(t)
+	}
+
+	// Commit from the ROB head.
+	if c.n > 0 {
+		e := c.at(0)
+		if e.issued {
+			if e.done <= now {
+				return now
+			}
+			add(e.done)
+		}
+		// Unissued head: its issue is covered by the IQ scan below.
+	}
+
+	// Issue: scan the scheduler the way issue() does.
+	for i := 0; i < c.n; i++ {
+		e := c.at(i)
+		if !e.inIQ {
+			continue
+		}
+		t1 := c.rf.PeekReadyAt(e.srcP1)
+		t2 := c.rf.PeekReadyAt(e.srcP2)
+		if t1 >= regfile.NotReady || t2 >= regfile.NotReady {
+			continue // producer not issued yet: its issue is the prior event
+		}
+		t := t1
+		if t2 > t {
+			t = t2
+		}
+		if t > now {
+			add(t)
+			continue
+		}
+		if e.op.Class == isa.Load && e.waitStore != lsu.NoSeq && !c.sq.ResolvedOrGone(e.waitStore) {
+			continue // store-set wait: the store's issue is the prior event
+		}
+		if c.fus.CanIssue(e.op.Class, now) {
+			return now
+		}
+		add(c.fus.NextFree(e.op.Class, now))
+	}
+
+	// Dispatch (all gates are pure reads; charges happen only on a real
+	// dispatch, which this probe reports as an event at now).
+	if op := c.fe.Peek(0); op != nil &&
+		c.n < len(c.rob) && c.iqN < c.cfg.IQSize &&
+		!(op.Class == isa.Store && c.sq.Full()) &&
+		!(c.lq != nil && op.Class == isa.Load && c.lq.Full()) &&
+		!(op.HasDst() && !c.rf.CanAllocate(op.Dst)) {
+		return now
+	}
+
+	// Fetch.
+	if t := c.fe.NextFetchEvent(now); t <= now {
+		return now
+	} else {
+		add(t)
+	}
+	return next
+}
+
+// ffSig is the cheap progress signature guarding FastForward.
+type ffSig struct {
+	committed, fetched, issued, l1, flushes uint64
+	n, iqN, sq, lq, buf                     int
+}
+
+func (c *Core) ffSig() ffSig {
+	s := ffSig{
+		committed: c.committed,
+		fetched:   c.fe.Fetched,
+		issued:    c.fus.IssuedTotal(),
+		l1:        c.acct.L1Access,
+		flushes:   c.Flushes,
+		n:         c.n,
+		iqN:       c.iqN,
+		sq:        c.sq.Len(),
+		buf:       c.fe.BufLen(),
+	}
+	if c.lq != nil {
+		s.lq = c.lq.Len()
+	}
+	return s
+}
+
+// FastForward advances the clock to cycle `to` across cycles NextEvent()
+// proved idle: one embedded real Cycle() supplies the exact idle-cycle
+// accounting (Cycle stays the single source of truth), whose deltas are
+// then replayed in bulk for the remaining skipped cycles. Panics if the
+// embedded cycle made progress — that would mean NextEvent is unsound.
+func (c *Core) FastForward(to int64) {
+	n := to - c.now - 1
+	if n < 0 {
+		return
+	}
+	sig := c.ffSig()
+	c.acct.BeginDelta()
+	sqReads0 := c.sq.Reads
+	c.Cycle()
+	if c.ffSig() != sig {
+		panic("ooo: FastForward across a non-idle cycle (NextEvent bug)")
+	}
+	if n == 0 {
+		return
+	}
+	un := uint64(n)
+	c.acct.ScaleDelta(un)
+	c.sq.Reads += (c.sq.Reads - sqReads0) * un
+	c.OccROB.AddN(c.n, un)
+	c.OccIQ.AddN(c.iqN, un)
+	c.OccSQ.AddN(c.sq.Len(), un)
+	if c.OccLQ != nil {
+		c.OccLQ.AddN(c.lq.Len(), un)
+	}
+	c.now += n
+}

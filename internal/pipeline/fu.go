@@ -45,6 +45,23 @@ func (p *FUPool) CanIssue(c isa.Class, now int64) bool {
 	return false
 }
 
+// NextFree returns the earliest cycle >= now at which an op of class c
+// could begin execution: now if a unit is already free, otherwise the
+// soonest busy-until time. Used by the fast-forward probes when an
+// otherwise-ready op is blocked only on an occupied (unpipelined) unit.
+func (p *FUPool) NextFree(c isa.Class, now int64) int64 {
+	best := int64(1) << 62
+	for _, busy := range p.units[c.FU()] {
+		if busy <= now {
+			return now
+		}
+		if busy < best {
+			best = busy
+		}
+	}
+	return best
+}
+
 // Issue occupies a unit for an op of class c starting at now, returning
 // false if no unit is free. Pipelined classes free the unit next cycle;
 // unpipelined ones hold it for their full latency.
@@ -62,6 +79,16 @@ func (p *FUPool) Issue(c isa.Class, now int64) bool {
 		}
 	}
 	return false
+}
+
+// IssuedTotal returns the total issue count across all unit kinds (used as
+// part of the fast-forward progress signature).
+func (p *FUPool) IssuedTotal() uint64 {
+	var t uint64
+	for _, n := range p.Issued {
+		t += n
+	}
+	return t
 }
 
 // Reset clears occupancy and counters.

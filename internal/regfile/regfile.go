@@ -142,6 +142,11 @@ func (f *File) Release(p PReg) {
 
 const notReady = int64(1) << 62
 
+// NotReady is the ReadyAt sentinel for a physical register whose producer
+// has not issued yet. Fast-forward probes compare against it to tell "ready
+// at a known future cycle" from "blocked on another instruction's issue".
+const NotReady = notReady
+
 // ReadyAt returns the cycle at which p's value is available (a very large
 // sentinel while its producer has not issued).
 func (f *File) ReadyAt(p PReg) int64 {
@@ -149,6 +154,25 @@ func (f *File) ReadyAt(p PReg) int64 {
 		return 0
 	}
 	f.SBReads++
+	return f.readyAt[p]
+}
+
+// PeekMapping reads the RAT entry for a without counting a RAT access.
+// Fast-forward probes use it so probing a stalled core never perturbs the
+// activity counts the energy model bills.
+func (f *File) PeekMapping(a isa.Reg) PReg {
+	if !a.Valid() {
+		return PRegNone
+	}
+	return f.rat[a]
+}
+
+// PeekReadyAt is the side-effect-free variant of ReadyAt (no scoreboard
+// access count), for fast-forward probes.
+func (f *File) PeekReadyAt(p PReg) int64 {
+	if p == PRegNone {
+		return 0
+	}
 	return f.readyAt[p]
 }
 

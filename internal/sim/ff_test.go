@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFastForwardSkipsCycles asserts the acceptance criterion of the
+// event-horizon optimisation: on the default 60k-op configuration every
+// model spends a measurable share of its cycles fully stalled, and the
+// driver jumps them instead of stepping.
+func TestFastForwardSkipsCycles(t *testing.T) {
+	for _, m := range Models() {
+		r, err := Run(Spec{Model: m, Workload: "libquantum", Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if r.Extra["ff.jumps"] <= 0 || r.Extra["ff.skipped_cycles"] <= 0 {
+			t.Errorf("%s: no fast-forward activity (jumps=%v skipped=%v)",
+				m, r.Extra["ff.jumps"], r.Extra["ff.skipped_cycles"])
+		}
+		if cov := r.Extra["ff.coverage"]; cov <= 0 || cov >= 1 {
+			t.Errorf("%s: implausible ff.coverage %v", m, cov)
+		}
+	}
+}
+
+// TestFastForwardDeterminism runs each model twice on a load-miss-heavy
+// workload — once with event-horizon jumps, once stepping every cycle —
+// and requires every published metric (timing, energy, occupancy
+// histograms, stall diagnostics) to be bit-identical. Fast-forwarding is
+// an execution strategy, never a model change.
+func TestFastForwardDeterminism(t *testing.T) {
+	for _, m := range Models() {
+		spec := Spec{Model: m, Workload: "milc", Ops: 12000, Warmup: 3000, Seed: 7}
+		on, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		spec.DisableFastForward = true
+		off, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s (no ff): %v", m, err)
+		}
+		if on.Extra["ff.skipped_cycles"] <= 0 {
+			t.Errorf("%s: fast-forward never fired; determinism check is vacuous", m)
+		}
+		if off.Extra["ff.jumps"] != 0 || off.Extra["ff.skipped_cycles"] != 0 {
+			t.Errorf("%s: DisableFastForward still jumped", m)
+		}
+		if on.Cycles != off.Cycles || on.Instructions != off.Instructions ||
+			on.IPC != off.IPC || on.DynamicPJ != off.DynamicPJ || on.StaticPJ != off.StaticPJ {
+			t.Errorf("%s: headline results diverge: ff %+v vs step %+v", m, on, off)
+		}
+		for k, want := range off.Extra {
+			if strings.HasPrefix(k, "ff.") {
+				continue
+			}
+			if got := on.Extra[k]; got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Errorf("%s: metric %s: ff=%v step=%v", m, k, got, want)
+			}
+		}
+		for k := range on.Extra {
+			if !strings.HasPrefix(k, "ff.") {
+				if _, ok := off.Extra[k]; !ok {
+					t.Errorf("%s: metric %s only published with ff on", m, k)
+				}
+			}
+		}
+	}
+}
+
+// TestFastForwardEnvKill checks the CASINO_NO_FASTFORWARD escape hatch.
+func TestFastForwardEnvKill(t *testing.T) {
+	t.Setenv("CASINO_NO_FASTFORWARD", "1")
+	r, err := Run(Spec{Model: ModelCASINO, Workload: "gcc", Ops: 4000, Warmup: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Extra["ff.jumps"] != 0 {
+		t.Errorf("env kill switch ignored: ff.jumps = %v", r.Extra["ff.jumps"])
+	}
+}

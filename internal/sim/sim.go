@@ -7,6 +7,8 @@ package sim
 
 import (
 	"fmt"
+	"os"
+	"sync/atomic"
 
 	"casino/internal/core"
 	"casino/internal/energy"
@@ -47,6 +49,24 @@ type Core interface {
 	Done() bool
 }
 
+// fastForwarder is the optional event-horizon interface a core may
+// implement (all five repository models do). NextEvent returns the
+// earliest cycle >= Now() at which Cycle() could change observable state;
+// FastForward advances the clock to a proven-idle target while preserving
+// exact per-cycle accounting (see DESIGN.md, "Clock & event model").
+type fastForwarder interface {
+	NextEvent() int64
+	FastForward(to int64)
+}
+
+// simulatedCycles accumulates the total simulated cycles (including
+// fast-forwarded ones) across every Run in the process, letting tools
+// report cycles-per-second throughput without threading state through.
+var simulatedCycles atomic.Uint64
+
+// SimulatedCycles returns the process-wide total of simulated core cycles.
+func SimulatedCycles() uint64 { return simulatedCycles.Load() }
+
 // Spec describes one run.
 type Spec struct {
 	Model    string
@@ -67,6 +87,12 @@ type Spec struct {
 	// The trace may be shared with concurrent runs: it is read-only once
 	// handed to Run (see the trace package's read-only contract).
 	Trace *trace.Trace
+
+	// DisableFastForward forces cycle-by-cycle simulation even for cores
+	// that implement the event-horizon interface. The CASINO_NO_FASTFORWARD
+	// environment variable has the same effect (useful for A/B timing and
+	// the determinism test). Results must be bit-identical either way.
+	DisableFastForward bool
 }
 
 // Result is the outcome of one measured run.
@@ -157,6 +183,12 @@ func Run(s Spec) (Result, error) {
 	if snapped {
 		dyn0 = acct.DynamicEnergy()
 	}
+	ff, _ := c.(fastForwarder)
+	if s.DisableFastForward || os.Getenv("CASINO_NO_FASTFORWARD") != "" {
+		ff = nil
+	}
+	var ffJumps, ffSkipped uint64
+	lastCommitted := ^uint64(0) // != Committed(): never probe before the first cycle
 	const cycleCap = 400_000_000
 	for c.Now() < cycleCap && !c.Done() && c.Committed() < target {
 		if !snapped && c.Committed() >= warm {
@@ -164,6 +196,23 @@ func Run(s Spec) (Result, error) {
 			dyn0 = acct.DynamicEnergy()
 			snapped = true
 		}
+		// Only probe for a jump when the previous cycle retired nothing —
+		// while commits flow, per-cycle stepping is the common case and the
+		// probe would be pure overhead.
+		if ff != nil && c.Committed() == lastCommitted {
+			if to := ff.NextEvent(); to > c.Now()+1 {
+				if to > cycleCap {
+					to = cycleCap
+				}
+				if to > c.Now()+1 {
+					ffSkipped += uint64(to - c.Now() - 1)
+					ffJumps++
+					ff.FastForward(to)
+					continue
+				}
+			}
+		}
+		lastCommitted = c.Committed()
 		c.Cycle()
 	}
 	if !snapped {
@@ -174,6 +223,7 @@ func Run(s Spec) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %s/%s exceeded cycle cap at %d committed", s.Model, tr.Name, c.Committed())
 	}
 
+	simulatedCycles.Add(uint64(c.Now()))
 	cycles := uint64(c.Now() - cyc0)
 	instrs := c.Committed() - warm
 	dyn := acct.DynamicEnergy() - dyn0
@@ -181,6 +231,9 @@ func Run(s Spec) (Result, error) {
 	reg := stats.NewRegistry()
 	publish(reg)
 	acct.PublishMetrics(reg)
+	reg.Counter("ff.jumps", ffJumps)
+	reg.Counter("ff.skipped_cycles", ffSkipped)
+	reg.SetRatio("ff.coverage", float64(ffSkipped), float64(c.Now()))
 	res := Result{
 		Model:        s.Model,
 		Workload:     tr.Name,

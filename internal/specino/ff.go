@@ -1,0 +1,190 @@
+package specino
+
+// noEvent mirrors lsu.NoEvent: no progress through the passage of time.
+const noEvent = int64(1) << 62
+
+// NextEvent returns the earliest cycle >= now at which Cycle() could change
+// observable state. SpecInO needs the most careful probe of the five
+// models: its scheduling window *slides* by SO positions every cycle in
+// which it issues nothing, so during a stretch of idle cycles the set of
+// examined IQ positions moves deterministically. For an entry at position j
+// the probe therefore computes both when its operands complete (r) and the
+// first cycle the sliding window reaches j (now+kMin), and uses the later
+// of the two; if the window slides past j before its operands are ready,
+// the entry can only issue from the in-order head engine later, which other
+// events cover. The slide itself carries no accounting, so it is not an
+// event — FastForward replays it in closed form instead.
+func (c *Core) NextEvent() int64 {
+	now := c.now
+	next := noEvent
+	add := func(t int64) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+
+	// Commit from the IQ head.
+	if len(c.iq) > 0 {
+		e := c.iq[0]
+		if e.issued {
+			if e.done <= now {
+				return now
+			}
+			add(e.done)
+		}
+	}
+
+	// In-order head engine: the first unissued entry.
+	i0 := -1
+	for i, e := range c.iq {
+		if !e.issued {
+			i0 = i
+			break
+		}
+	}
+	if i0 >= 0 {
+		if r, ok := c.readyAt(c.iq[i0]); ok {
+			if r > now {
+				add(r)
+			} else if c.fus.CanIssue(c.iq[i0].op.Class, now) {
+				return now
+			} else {
+				add(c.fus.NextFree(c.iq[i0].op.Class, now))
+			}
+		}
+		// Blocked on an unissued producer: that issue is the prior event.
+	}
+
+	// Sliding window. Position j is examined at cycle now+k when
+	// effW+k*SO <= j <= effW+k*SO+WS-1 (the window start advances by SO per
+	// idle cycle from effW = max(winPos, i0+1)).
+	if i0 >= 0 {
+		effW := c.winPos
+		if effW < i0+1 {
+			effW = i0 + 1
+		}
+		ws, so := c.cfg.WS, c.cfg.SO
+		for j := effW; j < len(c.iq); j++ {
+			e := c.iq[j]
+			if e.issued || (c.cfg.NonMemOnly && e.op.Class.IsMem()) {
+				continue
+			}
+			r, ok := c.readyAt(e)
+			if !ok {
+				continue // blocked on an unissued producer
+			}
+			var kMin int64
+			if d := j - (effW + ws - 1); d > 0 {
+				kMin = (int64(d) + int64(so) - 1) / int64(so)
+			}
+			kMax := int64(j-effW) / int64(so)
+			kReady := int64(0)
+			if r > now {
+				kReady = r - now
+			}
+			k := kMin
+			if kReady > k {
+				k = kReady
+			}
+			if k > kMax {
+				continue // window slides past j before it becomes ready
+			}
+			if k == 0 {
+				if c.fus.CanIssue(e.op.Class, now) {
+					return now
+				}
+				add(c.fus.NextFree(e.op.Class, now))
+				continue
+			}
+			add(now + k)
+		}
+	}
+
+	// Dispatch and fetch.
+	if c.fe.BufLen() > 0 && len(c.iq) < c.cfg.IQSize {
+		return now
+	}
+	if t := c.fe.NextFetchEvent(now); t <= now {
+		return now
+	} else {
+		add(t)
+	}
+	return next
+}
+
+// readyAt returns the cycle e's operands complete. ok is false when a
+// producer has not issued yet — e cannot become ready through the passage
+// of time alone, and the producer's own issue is a separately tracked
+// event.
+func (c *Core) readyAt(e *entry) (int64, bool) {
+	var r int64
+	for _, p := range [...]*entry{e.prod1, e.prod2, e.stFwd} {
+		if p == nil {
+			continue
+		}
+		if !p.issued {
+			return 0, false
+		}
+		if p.done > r {
+			r = p.done
+		}
+	}
+	return r, true
+}
+
+// ffSig is the cheap progress signature guarding FastForward. winPos is
+// deliberately absent: the window slide is the one benign mutation an idle
+// cycle performs, and FastForward accounts for it in closed form.
+type ffSig struct {
+	committed, fetched, issued, l1 uint64
+	iq, buf                        int
+}
+
+func (c *Core) ffSig() ffSig {
+	return ffSig{
+		committed: c.committed,
+		fetched:   c.fe.Fetched,
+		issued:    c.fus.IssuedTotal(),
+		l1:        c.acct.L1Access,
+		iq:        len(c.iq),
+		buf:       c.fe.BufLen(),
+	}
+}
+
+// FastForward advances the clock to cycle `to` across cycles NextEvent()
+// proved idle. One embedded real Cycle() performs the idle accounting
+// (Cycles) and one window slide; the remaining n skipped cycles each slide
+// the window by a further SO, which the closed form below replays, capped
+// at the IQ length exactly as issue() caps it.
+func (c *Core) FastForward(to int64) {
+	n := to - c.now - 1
+	if n < 0 {
+		return
+	}
+	sig := c.ffSig()
+	c.acct.BeginDelta()
+	c.Cycle()
+	if c.ffSig() != sig {
+		panic("specino: FastForward across a non-idle cycle (NextEvent bug)")
+	}
+	if n == 0 {
+		return
+	}
+	c.acct.ScaleDelta(uint64(n))
+	if w := c.winPos + c.cfg.SO*int(min64(n, int64(len(c.iq)))); true {
+		// Guard the multiply against pathological n; the cap below makes any
+		// overshoot equivalent.
+		if w > len(c.iq) || w < c.winPos {
+			w = len(c.iq)
+		}
+		c.winPos = w
+	}
+	c.now += n
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

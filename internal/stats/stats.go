@@ -80,6 +80,30 @@ func (h *Hist) Add(v int) {
 	h.sum += float64(v)
 }
 
+// AddN records n observations of v as one weighted sample — exactly
+// equivalent to calling Add(v) n times. It exists for clock fast-forwarding:
+// when a core skips k provably idle cycles, the occupancy it would have
+// sampled on each of them is the same frozen value, so the model records one
+// sample with weight k instead of looping. Callers must pass the weight for
+// every skipped cycle; dropping it would silently under-sample the histogram
+// (Count no longer equals simulated cycles) and skew Mean toward busy
+// cycles.
+func (h *Hist) AddN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v < len(h.buckets) {
+		h.buckets[v] += n
+	} else {
+		h.overflow += n
+	}
+	h.count += n
+	h.sum += float64(v) * float64(n)
+}
+
 // Count returns the number of observations.
 func (h *Hist) Count() uint64 { return h.count }
 

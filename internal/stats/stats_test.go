@@ -116,3 +116,39 @@ func TestTableSort(t *testing.T) {
 	}
 	tb.SortRowsBy(99) // out of range: no-op, must not panic
 }
+
+// TestHistAddNEquivalence pins the weighted-sample contract: AddN(v, n) is
+// observationally identical to calling Add(v) n times, across in-range,
+// clamped-negative and overflow values. Fast-forwarded occupancy sampling
+// relies on this equivalence for bit-identical results.
+func TestHistAddNEquivalence(t *testing.T) {
+	loop := NewHist(4)
+	bulk := NewHist(4)
+	cases := []struct {
+		v int
+		n uint64
+	}{{0, 3}, {2, 5}, {-1, 2}, {7, 4}, {3, 1}, {2, 0}}
+	for _, c := range cases {
+		for i := uint64(0); i < c.n; i++ {
+			loop.Add(c.v)
+		}
+		bulk.AddN(c.v, c.n)
+	}
+	if loop.Count() != bulk.Count() {
+		t.Errorf("count: loop %d bulk %d", loop.Count(), bulk.Count())
+	}
+	if loop.Mean() != bulk.Mean() {
+		t.Errorf("mean: loop %v bulk %v", loop.Mean(), bulk.Mean())
+	}
+	for v := 0; v < 4; v++ {
+		if loop.Bucket(v) != bulk.Bucket(v) {
+			t.Errorf("bucket %d: loop %d bulk %d", v, loop.Bucket(v), bulk.Bucket(v))
+		}
+	}
+	if loop.Overflow() != bulk.Overflow() {
+		t.Errorf("overflow: loop %d bulk %d", loop.Overflow(), bulk.Overflow())
+	}
+	if bulk.Count() != 15 {
+		t.Errorf("total weighted count = %d, want 15", bulk.Count())
+	}
+}
