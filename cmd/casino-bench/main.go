@@ -46,6 +46,7 @@ func main() {
 		perfOut    = flag.String("perf", "", "write a per-figure wall-time / cycles-per-second summary as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		cpistack   = flag.Bool("cpistack", false, "print the per-model CPI stall-attribution stack and exit")
 	)
 	flag.Parse()
 
@@ -82,6 +83,16 @@ func main() {
 		o.Apps = strings.Split(*apps, ",")
 	}
 	so := sim.Options{Ops: o.Ops, Warmup: o.Warmup, Seed: o.Seed, Apps: o.Apps}
+
+	if *cpistack {
+		start := time.Now()
+		t, _, err := sim.CPIStack(so)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== cpistack (%.1fs) ===\n%s\n", time.Since(start).Seconds(), t)
+		return
+	}
 
 	if *jsonOut != "" {
 		start := time.Now()

@@ -1,118 +1,185 @@
-// Command casino-pipeview renders a cycle-by-cycle pipeline diagram of a
-// short CASINO run: for each dynamic instruction, the cycles at which it
-// was dispatched into the S-IQ, passed to the IQ, issued (speculatively or
-// in order), completed and committed — the quickest way to *see* cascaded
-// in-order scheduling producing an out-of-order schedule.
+// Command casino-pipeview renders a pipeline view of a short run of any of
+// the repository's core models: for each dynamic instruction, the cycles at
+// which it was fetched, dispatched, passed down the cascade (CASINO),
+// issued (speculatively or in order), completed and committed — the
+// quickest way to *see* cascaded in-order scheduling producing an
+// out-of-order schedule, and to compare it against the InO/OoO/slice/
+// SpecInO baselines.
 //
-// Usage:
+// Besides the text table it can emit the same window as a Konata-loadable
+// Kanata trace, a Perfetto-loadable Chrome trace-event JSON, or the compact
+// binary event format:
 //
-//	casino-pipeview -workload libquantum -skip 2000 -n 40
+//	casino-pipeview -model casino -workload libquantum -skip 2000 -n 40
+//	casino-pipeview -model ooo -format kanata -o trace.kanata
+//	casino-pipeview -model specino -format chrome -o trace.json
+//	casino-pipeview -validate trace.json
+//
+// Tracing always runs cycle-by-cycle: an active sink disables event-horizon
+// fast-forwarding so every stall cycle is observed rather than summarized.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"casino/internal/core"
-	"casino/internal/energy"
-	"casino/internal/mem"
+	"casino/internal/ptrace"
+	"casino/internal/sim"
 	"casino/internal/workload"
 )
 
-type record struct {
-	dispatch, pass, issue, complete, commit int64
-	fromSIQ                                 bool
-	flushes                                 int
-}
-
-type tracer struct {
-	skip uint64
-	n    uint64
-	recs map[uint64]*record
-}
-
-func (t *tracer) Event(seq uint64, ev core.PipeEvent, cycle int64) {
-	if seq < t.skip || seq >= t.skip+t.n {
-		return
-	}
-	r, ok := t.recs[seq]
-	if !ok {
-		r = &record{dispatch: -1, pass: -1, issue: -1, complete: -1, commit: -1}
-		t.recs[seq] = r
-	}
-	switch ev {
-	case core.EvDispatch:
-		r.dispatch = cycle
-	case core.EvPass:
-		r.pass = cycle
-	case core.EvIssueSIQ:
-		r.issue = cycle
-		r.fromSIQ = true
-	case core.EvIssueIQ:
-		r.issue = cycle
-		r.fromSIQ = false
-	case core.EvComplete:
-		r.complete = cycle
-	case core.EvCommit:
-		r.commit = cycle
-	case core.EvFlush:
-		r.flushes++
-	}
-}
-
 func main() {
 	var (
-		wl   = flag.String("workload", "libquantum", "workload profile")
-		seed = flag.Int64("seed", 1, "generation seed")
-		skip = flag.Uint64("skip", 2000, "skip this many instructions (warm-up)")
-		n    = flag.Uint64("n", 32, "instructions to display")
+		model    = flag.String("model", "casino", "core model: "+strings.Join(sim.Models(), ", "))
+		wl       = flag.String("workload", "libquantum", "workload profile")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		skip     = flag.Uint64("skip", 2000, "skip this many instructions (warm-up)")
+		n        = flag.Uint64("n", 32, "instructions to display")
+		format   = flag.String("format", "text", "output format: text, kanata, chrome, binary")
+		out      = flag.String("o", "", "output file (default stdout)")
+		validate = flag.String("validate", "", "validate a Chrome trace-event JSON file and exit")
+		ws       = flag.Int("ws", 2, "SpecInO window size (specino model only)")
+		so       = flag.Int("so", 1, "SpecInO sliding offset (specino model only)")
 	)
 	flag.Parse()
 
-	p, err := workload.ByName(*wl)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "casino-pipeview:", err)
-		os.Exit(1)
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := ptrace.ValidateChrome(f); err != nil {
+			fail(fmt.Errorf("%s: %w", *validate, err))
+		}
+		fmt.Printf("%s: valid Chrome trace-event JSON\n", *validate)
+		return
 	}
-	tr := workload.Generate(p, int(*skip+*n)+2000, *seed)
-	c := core.New(core.DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
-	tc := &tracer{skip: *skip, n: *n, recs: map[uint64]*record{}}
-	c.SetTracer(tc)
-	for !c.Done() && c.Committed() < *skip+*n+16 {
-		c.Cycle()
+	if *n == 0 {
+		fail(fmt.Errorf("-n must be positive"))
 	}
 
-	fmt.Printf("CASINO pipeline view — %s, instructions %d..%d\n", *wl, *skip, *skip+*n-1)
-	fmt.Printf("%-5s %-22s %9s %8s %9s %9s %8s %s\n",
-		"seq", "op", "dispatch", "pass", "issue", "complete", "commit", "path")
-	var base int64 = -1
-	for seq := *skip; seq < *skip+*n; seq++ {
-		r, ok := tc.recs[seq]
-		if !ok {
-			continue
+	p, err := workload.ByName(*wl)
+	if err != nil {
+		fail(err)
+	}
+	// A little slack past the window lets the tail of the displayed
+	// instructions complete and commit before the run stops.
+	ops := int(*skip+*n) + 64
+	tr := workload.Generate(p, ops, *seed)
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
 		}
-		if base < 0 {
-			base = r.dispatch
+		defer f.Close()
+		w = f
+	}
+
+	label := func(seq uint64) string {
+		if seq >= uint64(len(tr.Ops)) {
+			return fmt.Sprintf("seq %d", seq)
 		}
 		op := &tr.Ops[seq]
-		path := "IQ (in order)"
-		if r.fromSIQ {
-			path = "S-IQ (speculative)"
+		return fmt.Sprintf("%s %s<-[%s,%s]", op.Class, op.Dst, op.Src1, op.Src2)
+	}
+
+	collector := &ptrace.Collector{}
+	var sink ptrace.Sink = collector
+	switch *format {
+	case "text":
+	case "kanata":
+		ks := ptrace.NewKanataSink(w)
+		ks.Label = label
+		sink = ks
+	case "chrome":
+		cs := ptrace.NewChromeSink(w, *model)
+		cs.Label = label
+		sink = cs
+	case "binary":
+		sink = ptrace.NewRingSink(w, ops*8)
+	default:
+		fail(fmt.Errorf("unknown -format %q (text, kanata, chrome, binary)", *format))
+	}
+
+	spec := sim.Spec{
+		Model:    *model,
+		Workload: *wl,
+		Ops:      ops,
+		Warmup:   0,
+		Seed:     *seed,
+		Trace:    tr,
+		// The sink implies cycle-by-cycle simulation (no fast-forward), so
+		// the trace observes every stall cycle.
+		TraceSink:   sink,
+		TraceWindow: ptrace.Window{MinSeq: *skip, MaxSeq: *skip + *n},
+	}
+	if *model == sim.ModelSpecInO {
+		cfg := sim.DefaultSpecInO(*ws, *so)
+		spec.SpecInOCfg = &cfg
+	}
+	res, err := sim.Run(spec)
+	if err != nil {
+		fail(err)
+	}
+	if err := sink.Close(); err != nil {
+		fail(err)
+	}
+	if *format != "text" {
+		return
+	}
+
+	tl := ptrace.BuildTimeline(collector.Events())
+	fmt.Fprintf(w, "%s pipeline view — %s, instructions %d..%d\n", *model, *wl, *skip, *skip+*n-1)
+	fmt.Fprintf(w, "%-5s %-22s %6s %9s %6s %9s %9s %8s %s\n",
+		"seq", "op", "fetch", "dispatch", "pass", "issue", "complete", "commit", "path")
+	var base int64 = -1
+	for _, r := range tl.Recs {
+		if base < 0 {
+			if r.Fetch >= 0 {
+				base = r.Fetch
+			} else if r.Dispatch >= 0 {
+				base = r.Dispatch
+			}
 		}
-		if r.issue < 0 {
+		path := "in order"
+		if r.Spec {
+			path = "speculative"
+		}
+		if r.Issue < 0 {
 			path = "-"
 		}
-		desc := fmt.Sprintf("%s %s<-[%s,%s]", op.Class, op.Dst, op.Src1, op.Src2)
+		if r.Squashes > 0 {
+			path += fmt.Sprintf(" (%dx squashed)", r.Squashes)
+		}
+		desc := label(r.Seq)
 		if len(desc) > 22 {
 			desc = desc[:22]
 		}
-		fmt.Printf("%-5d %-22s %9s %8s %9s %9s %8s %s\n",
-			seq, desc, rel(r.dispatch, base), rel(r.pass, base),
-			rel(r.issue, base), rel(r.complete, base), rel(r.commit, base), path)
+		fmt.Fprintf(w, "%-5d %-22s %6s %9s %6s %9s %9s %8s %s\n",
+			r.Seq, desc, rel(r.Fetch, base), rel(r.Dispatch, base), rel(r.Pass, base),
+			rel(r.Issue, base), rel(r.Complete, base), rel(r.Commit, base), path)
 	}
-	fmt.Println("\ncycles relative to the first displayed dispatch; '-' = not applicable")
-	fmt.Println("out-of-order issue shows as a younger instruction's issue preceding an older one's.")
+	fmt.Fprintln(w, "\ncycles relative to the first displayed fetch; '-' = stage absent")
+	fmt.Fprintln(w, "out-of-order issue shows as a younger instruction's issue preceding an older one's.")
+
+	// Whole-run CPI stack (the displayed window is a slice of this run).
+	cycles := res.Extra["cpi.cycles"]
+	if cycles > 0 {
+		fmt.Fprintf(w, "\nCPI stack over the whole run (%d cycles, IPC %.3f):\n", uint64(cycles), res.IPC)
+		for _, b := range ptrace.BucketNames() {
+			v := res.Extra["cpi."+b]
+			if v == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s %6.1f%%\n", b, 100*v/cycles)
+		}
+	}
 }
 
 func rel(c, base int64) string {
@@ -120,4 +187,9 @@ func rel(c, base int64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%d", c-base)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "casino-pipeview:", err)
+	os.Exit(1)
 }

@@ -8,6 +8,7 @@ import (
 	"casino/internal/lsu"
 	"casino/internal/mem"
 	"casino/internal/pipeline"
+	"casino/internal/ptrace"
 	"casino/internal/regfile"
 	"casino/internal/stats"
 	"casino/internal/trace"
@@ -81,9 +82,10 @@ type Core struct {
 	osca *lsu.OSCA
 	log  regfile.RecoveryLog
 
-	lineSent *lineSentinels  // TSO load-load ordering sentinels (§III-C4)
-	remote   *remoteInjector // synthetic coherence traffic (nil = off)
-	tracer   Tracer          // optional pipeline-event observer
+	lineSent *lineSentinels   // TSO load-load ordering sentinels (§III-C4)
+	remote   *remoteInjector  // synthetic coherence traffic (nil = off)
+	pt       *ptrace.Recorder // optional pipeline-event recorder (nil = off)
+	cpi      ptrace.CPI       // per-cycle stall attribution (always on)
 
 	// queues[0] is the first S-IQ, queues[1..MidSIQs] the intermediate
 	// S-IQs, queues[len-1] the final in-order IQ. Older instructions live
@@ -249,6 +251,7 @@ func (c *Core) RemoteStats() (invals, withheld, delayCycles uint64) {
 // Cycle advances the core by one clock.
 func (c *Core) Cycle() {
 	now := c.now
+	committed0, flushes0 := c.committed, c.Flushes
 	c.OccSIQ.Add(c.queues[0].len())
 	c.OccIQ.Add(c.queues[len(c.queues)-1].len())
 	c.OccROB.Add(c.rob.len())
@@ -259,6 +262,7 @@ func (c *Core) Cycle() {
 	c.schedule(now)
 	c.dispatch()
 	c.fe.Cycle(now)
+	c.tickCPI(now, committed0, flushes0)
 	c.now++
 	c.acct.Cycles++
 }
@@ -350,7 +354,7 @@ func (c *Core) commit(now int64) {
 			c.acct.Inc(c.hPRF, energy.Write, 1)
 		}
 		c.log.Commit(op.Seq)
-		c.trace(op.Seq, EvCommit, now)
+		c.emit(now, op.Seq, ptrace.KindCommit)
 		// A committed last-writer's value is architectural; clearing the
 		// reference here (rather than leaving a tombstone) is what lets
 		// the entry recycle safely.
@@ -372,7 +376,7 @@ func (c *Core) commit(now int64) {
 func (c *Core) flushFrom(victim uint64, now int64) {
 	c.Violations++
 	c.Flushes++
-	c.trace(victim, EvFlush, now)
+	c.emit(now, victim, ptrace.KindFlush)
 	// Undo speculative renames, youngest first.
 	c.acct.Inc(c.hLog, energy.Read, uint64(c.log.Len()))
 	c.log.Unwind(c.rf, victim)
@@ -391,6 +395,7 @@ func (c *Core) flushFrom(victim uint64, now int64) {
 					c.acct.Inc(c.hScbd, energy.Write, 1)
 				}
 				if !inROB && !e.preAlloc {
+					c.emit(now, e.op.Seq, ptrace.KindSquash)
 					c.recycleEntry(e)
 				}
 			})
@@ -404,6 +409,7 @@ func (c *Core) flushFrom(victim uint64, now int64) {
 		if e.hasDB {
 			c.dbUsed--
 		}
+		c.emit(now, e.op.Seq, ptrace.KindSquash)
 		c.rob.popBack()
 		c.recycleEntry(e)
 	}
@@ -439,6 +445,6 @@ func (c *Core) dispatch() {
 		}
 		q.pushBack(c.allocEntry(op))
 		c.acct.Inc(c.hSIQ, energy.Write, 1)
-		c.trace(op.Seq, EvDispatch, c.now)
+		c.emit(c.now, op.Seq, ptrace.KindDispatch)
 	}
 }

@@ -292,6 +292,7 @@ func (c *Core) FastForward(to int64) {
 	if c.osca != nil {
 		sat0 = c.osca.Saturated
 	}
+	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
 		panic("core: FastForward across a non-idle cycle (NextEvent bug)")
@@ -313,6 +314,7 @@ func (c *Core) FastForward(to int64) {
 	if c.osca != nil {
 		c.osca.Saturated += (c.osca.Saturated - sat0) * un
 	}
+	c.cpi.ScaleDelta(&cpi0, un)
 	c.OccSIQ.AddN(c.queues[0].len(), un)
 	c.OccIQ.AddN(c.queues[len(c.queues)-1].len(), un)
 	c.OccROB.AddN(c.rob.len(), un)

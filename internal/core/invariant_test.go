@@ -5,26 +5,29 @@ import (
 
 	"casino/internal/energy"
 	"casino/internal/mem"
+	"casino/internal/ptrace"
 	"casino/internal/regfile"
 	"casino/internal/workload"
 )
 
 // commitChecker asserts the fundamental architectural invariant through
-// the tracer: instructions commit exactly once each, in program order,
+// the event bus: instructions commit exactly once each, in program order,
 // regardless of how speculatively they issued or how many flushes occur.
 type commitChecker struct {
 	t    *testing.T
 	next uint64
 }
 
-func (cc *commitChecker) Event(seq uint64, ev PipeEvent, cycle int64) {
-	if ev != EvCommit {
-		return
-	}
-	if seq != cc.next {
-		cc.t.Fatalf("commit order violated: got seq %d, want %d (cycle %d)", seq, cc.next, cycle)
-	}
-	cc.next++
+func (cc *commitChecker) recorder() *ptrace.Recorder {
+	return ptrace.NewRecorder(ptrace.SinkFunc(func(e ptrace.Event) {
+		if e.Kind != ptrace.KindCommit {
+			return
+		}
+		if e.Seq != cc.next {
+			cc.t.Fatalf("commit order violated: got seq %d, want %d (cycle %d)", e.Seq, cc.next, e.Cycle)
+		}
+		cc.next++
+	}), ptrace.Window{})
 }
 
 func TestCommitOrderInvariant(t *testing.T) {
@@ -41,7 +44,7 @@ func TestCommitOrderInvariant(t *testing.T) {
 			tr := workload.Generate(p, 15000, 1)
 			c := New(cfg, tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
 			cc := &commitChecker{t: t}
-			c.SetTracer(cc)
+			c.SetPipeTrace(cc.recorder())
 			for i := 0; i < 100_000_000 && !c.Done(); i++ {
 				c.Cycle()
 			}
@@ -55,30 +58,37 @@ func TestCommitOrderInvariant(t *testing.T) {
 	}
 }
 
-// issueBeforeCommitChecker verifies per-instruction event ordering:
-// dispatch <= issue <= complete <= commit on the cycle axis.
+// orderChecker verifies per-instruction event ordering:
+// fetch <= dispatch <= issue <= complete <= commit on the cycle axis.
 type orderChecker struct {
 	t        *testing.T
+	fetch    map[uint64]int64
 	dispatch map[uint64]int64
 	issue    map[uint64]int64
 	complete map[uint64]int64
 }
 
-func (oc *orderChecker) Event(seq uint64, ev PipeEvent, cycle int64) {
-	switch ev {
-	case EvDispatch:
+func (oc *orderChecker) event(e ptrace.Event) {
+	seq, cycle := e.Seq, e.Cycle
+	switch e.Kind {
+	case ptrace.KindFetch:
+		oc.fetch[seq] = cycle
+	case ptrace.KindDispatch:
+		if f, ok := oc.fetch[seq]; ok && cycle < f {
+			oc.t.Fatalf("op %d dispatched at %d before fetch at %d", seq, cycle, f)
+		}
 		oc.dispatch[seq] = cycle
-	case EvIssueSIQ, EvIssueIQ:
+	case ptrace.KindIssue, ptrace.KindIssueSpec:
 		if d, ok := oc.dispatch[seq]; ok && cycle < d {
 			oc.t.Fatalf("op %d issued at %d before dispatch at %d", seq, cycle, d)
 		}
 		oc.issue[seq] = cycle
-	case EvComplete:
+	case ptrace.KindComplete:
 		if is, ok := oc.issue[seq]; ok && cycle < is {
 			oc.t.Fatalf("op %d completed at %d before issue at %d", seq, cycle, is)
 		}
 		oc.complete[seq] = cycle
-	case EvCommit:
+	case ptrace.KindCommit:
 		if done, ok := oc.complete[seq]; ok && cycle < done {
 			oc.t.Fatalf("op %d committed at %d before completion at %d", seq, cycle, done)
 		}
@@ -91,11 +101,12 @@ func TestPipelineStageOrderInvariant(t *testing.T) {
 	c := New(DefaultConfig(), tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
 	oc := &orderChecker{
 		t:        t,
+		fetch:    map[uint64]int64{},
 		dispatch: map[uint64]int64{},
 		issue:    map[uint64]int64{},
 		complete: map[uint64]int64{},
 	}
-	c.SetTracer(oc)
+	c.SetPipeTrace(ptrace.NewRecorder(ptrace.SinkFunc(oc.event), ptrace.Window{}))
 	for i := 0; i < 100_000_000 && !c.Done(); i++ {
 		c.Cycle()
 	}

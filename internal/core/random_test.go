@@ -92,7 +92,7 @@ func TestRandomTracesAllModes(t *testing.T) {
 		c := New(cfg, tr, hier, energy.NewAccountant())
 		freeInt0, freeFP0 := c.rf.FreeCount(false), c.rf.FreeCount(true)
 		cc := &commitChecker{t: t}
-		c.SetTracer(cc)
+		c.SetPipeTrace(cc.recorder())
 		for i := 0; i < 5_000_000 && !c.Done(); i++ {
 			c.Cycle()
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"casino/internal/energy"
 	"casino/internal/isa"
+	"casino/internal/ptrace"
 	"casino/internal/regfile"
 )
 
@@ -100,7 +101,7 @@ func (c *Core) processSIQ(qi int, now int64, slots *int) {
 			} else {
 				c.acct.Inc(c.hSIQ, energy.Write, 1)
 			}
-			c.trace(e.op.Seq, EvPass, now)
+			c.emit(now, e.op.Seq, ptrace.KindPass)
 			passes++
 		default:
 			if pos == 0 && qi == 0 {
@@ -461,16 +462,16 @@ func (c *Core) issueOp(e *opEntry, now int64, fromSIQ bool) {
 		} else {
 			c.IssuedSIQNonMem++
 		}
-		c.trace(op.Seq, EvIssueSIQ, now)
+		c.emit(now, op.Seq, ptrace.KindIssueSpec)
 	} else {
 		if op.Class.IsMem() {
 			c.IssuedIQMem++
 		} else {
 			c.IssuedIQNonMem++
 		}
-		c.trace(op.Seq, EvIssueIQ, now)
+		c.emit(now, op.Seq, ptrace.KindIssue)
 	}
-	c.trace(op.Seq, EvComplete, e.done)
+	c.emit(e.done, op.Seq, ptrace.KindComplete)
 }
 
 func (c *Core) countFU(class isa.Class) {

@@ -1,41 +1,119 @@
 package core
 
-// PipeEvent identifies a pipeline milestone of one instruction, for
-// external observation (cmd/casino-pipeview renders them as a text
-// pipeline diagram).
-type PipeEvent uint8
-
-// Pipeline events.
-const (
-	EvDispatch PipeEvent = iota // entered the first S-IQ
-	EvPass                      // passed to the next queue
-	EvIssueSIQ                  // issued speculatively from an S-IQ
-	EvIssueIQ                   // issued in order from the final IQ
-	EvComplete                  // result available (reported at issue time)
-	EvCommit                    // retired from the ROB
-	EvFlush                     // squashed by a memory-order violation
+import (
+	"casino/internal/isa"
+	"casino/internal/ptrace"
 )
 
-var pipeEventNames = [...]string{"dispatch", "pass", "issueS", "issueIQ", "complete", "commit", "flush"}
-
-func (e PipeEvent) String() string {
-	if int(e) < len(pipeEventNames) {
-		return pipeEventNames[e]
-	}
-	return "?"
+// SetPipeTrace installs (or removes, with nil) a pipeline-event recorder.
+// The front end shares the recorder so fetch events join the same stream.
+func (c *Core) SetPipeTrace(rec *ptrace.Recorder) {
+	c.pt = rec
+	c.fe.SetPipeTrace(rec)
 }
 
-// Tracer observes per-instruction pipeline events. Implementations must
-// be fast; the core invokes them inline.
-type Tracer interface {
-	Event(seq uint64, ev PipeEvent, cycle int64)
+// CPIStack exposes the per-cycle stall attribution accumulated so far.
+func (c *Core) CPIStack() *ptrace.CPI { return &c.cpi }
+
+func (c *Core) emit(cycle int64, seq uint64, k ptrace.Kind) {
+	if c.pt != nil {
+		c.pt.Emit(ptrace.Event{Cycle: cycle, Seq: seq, Kind: k})
+	}
 }
 
-// SetTracer installs (or removes, with nil) a pipeline tracer.
-func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+// nopTime is the no-op arrival-time callback handed to the read-only
+// readiness probes when classification only needs the boolean. Package
+// level so taking its address does not allocate a closure per cycle.
+func nopTime(int64) {}
 
-func (c *Core) trace(seq uint64, ev PipeEvent, cycle int64) {
-	if c.tracer != nil {
-		c.tracer.Event(seq, ev, cycle)
+// tickCPI attributes the cycle that just executed to exactly one CPI
+// bucket and, when a recorder is active, publishes non-base cycles as
+// stall events tagged with the culprit instruction. It runs after every
+// pipeline stage of the cycle and uses only side-effect-free probes, so
+// the attribution never perturbs the energy accounting.
+func (c *Core) tickCPI(now int64, committed0, flushes0 uint64) {
+	b, seq := c.classifyCycle(now, committed0, flushes0)
+	c.cpi.Add(b)
+	if c.pt != nil && b != ptrace.BucketBase {
+		c.pt.Emit(ptrace.Event{Cycle: now, Seq: seq, Kind: ptrace.KindStall, Stall: b})
 	}
+}
+
+// classifyCycle decides the cycle's CPI bucket: base if anything committed,
+// replay if a flush fired, otherwise the reason the oldest in-flight
+// instruction (the commit bottleneck) has not retired yet.
+func (c *Core) classifyCycle(now int64, committed0, flushes0 uint64) (ptrace.Bucket, uint64) {
+	if c.committed > committed0 {
+		return ptrace.BucketBase, 0
+	}
+	if c.Flushes > flushes0 {
+		return ptrace.BucketReplay, 0
+	}
+	if c.rob.len() > 0 {
+		e := c.robAt(0)
+		if e.issued {
+			if e.op.Class.IsMem() {
+				return ptrace.BucketDCache, e.op.Seq
+			}
+			return ptrace.BucketExec, e.op.Seq
+		}
+		// Unissued ROB head still sits in a scheduling queue (pre-allocated
+		// window entries included); ask the queue's own readiness probe.
+		last := len(c.queues) - 1
+		var ready bool
+		if int(e.queue) == last {
+			ready = c.iqReadyProbe(e, now, nopTime)
+		} else {
+			ready = c.siqReadyProbe(int(e.queue), e, now, nopTime)
+		}
+		if !ready {
+			return ptrace.BucketSrc, e.op.Seq
+		}
+		return c.issueBlockBucket(e), e.op.Seq
+	}
+	// Empty ROB: the oldest in-flight instruction, if any, is the head of
+	// the first S-IQ (anything passed or pre-allocated would be in the ROB).
+	if q := &c.queues[0]; q.len() > 0 {
+		e := q.at(0)
+		if !c.exitResourcesOK(0, e, 0) {
+			return ptrace.BucketROBSQ, e.op.Seq
+		}
+		if c.siqReadyProbe(0, e, now, nopTime) {
+			return c.issueBlockBucket(e), e.op.Seq
+		}
+		// Not ready, so the head wants to pass; mirror the pass path's
+		// resource checks (diagnoseHeadStall order).
+		if len(c.queues) > 1 && c.queues[1].len() >= c.queues[1].cap() {
+			return ptrace.BucketIQFull, e.op.Seq
+		}
+		if !c.passResourcesProbe(0, e) {
+			if c.cfg.Renaming == RenameConventional {
+				return ptrace.BucketPReg, e.op.Seq
+			}
+			return ptrace.BucketProdCount, e.op.Seq
+		}
+		return ptrace.BucketSrc, e.op.Seq
+	}
+	if !c.fe.Done() {
+		return ptrace.BucketICache, 0
+	}
+	return ptrace.BucketDrain, 0
+}
+
+// issueBlockBucket mirrors issueResourcesOK for a ready-but-stuck entry:
+// which resource is the issue path missing.
+func (c *Core) issueBlockBucket(e *opEntry) ptrace.Bucket {
+	fromSIQ := int(e.queue) < len(c.queues)-1
+	if e.op.HasDst() {
+		if fromSIQ && e.queue == 0 && !c.rf.CanAllocate(e.op.Dst) {
+			return ptrace.BucketPReg
+		}
+		if !fromSIQ && c.cfg.Renaming == RenameConditional && c.dbUsed >= c.cfg.DataBufSize {
+			return ptrace.BucketDataBuf
+		}
+	}
+	if e.op.Class == isa.Store && c.osca != nil && !c.osca.PeekCanInc(e.op.Addr, e.op.Size) {
+		return ptrace.BucketReplay
+	}
+	return ptrace.BucketFU
 }

@@ -15,6 +15,7 @@ import (
 	"casino/internal/energy"
 	"casino/internal/isa"
 	"casino/internal/mem"
+	"casino/internal/ptrace"
 	"casino/internal/trace"
 )
 
@@ -35,6 +36,8 @@ type FrontEnd struct {
 	pred *bpred.Predictor
 	hier *mem.Hierarchy
 	acct *energy.Accountant
+
+	pt *ptrace.Recorder // optional pipeline-event recorder (nil = off)
 
 	buf        []*isa.MicroOp
 	stallUntil int64
@@ -88,6 +91,9 @@ func (f *FrontEnd) Cycle(now int64) {
 		f.rd.Next()
 		f.buf = append(f.buf, op)
 		f.Fetched++
+		if f.pt != nil {
+			f.pt.Emit(ptrace.Event{Cycle: now, Seq: op.Seq, Kind: ptrace.KindFetch})
+		}
 		if f.acct != nil {
 			f.acct.Frontend++
 		}
@@ -126,6 +132,10 @@ func (f *FrontEnd) NextFetchEvent(now int64) int64 {
 	}
 	return now
 }
+
+// SetPipeTrace installs (or removes, with nil) a pipeline-event recorder;
+// the front end contributes the fetch events of the shared stream.
+func (f *FrontEnd) SetPipeTrace(rec *ptrace.Recorder) { f.pt = rec }
 
 // BufLen returns the number of buffered decoded ops.
 func (f *FrontEnd) BufLen() int { return len(f.buf) }

@@ -119,6 +119,7 @@ func (c *Core) FastForward(to int64) {
 	sig := c.ffSig()
 	c.acct.BeginDelta()
 	src0, res0, sbReads0 := c.IssueStallsSrc, c.IssueStallsRes, c.sb.Reads
+	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
 		panic("ino: FastForward across a non-idle cycle (NextEvent bug)")
@@ -131,6 +132,7 @@ func (c *Core) FastForward(to int64) {
 	c.IssueStallsSrc += (c.IssueStallsSrc - src0) * un
 	c.IssueStallsRes += (c.IssueStallsRes - res0) * un
 	c.sb.Reads += (c.sb.Reads - sbReads0) * un
+	c.cpi.ScaleDelta(&cpi0, un)
 	c.OccIQ.AddN(c.iq.len(), un)
 	c.OccSCB.AddN(c.win.len(), un)
 	c.OccSB.AddN(c.sb.Len(), un)

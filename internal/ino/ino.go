@@ -15,6 +15,7 @@ import (
 	"casino/internal/lsu"
 	"casino/internal/mem"
 	"casino/internal/pipeline"
+	"casino/internal/ptrace"
 	"casino/internal/stats"
 	"casino/internal/trace"
 )
@@ -94,6 +95,9 @@ type Core struct {
 
 	regReady [isa.NumArchRegs]int64
 
+	pt  *ptrace.Recorder // optional pipeline-event recorder (nil = off)
+	cpi ptrace.CPI       // per-cycle stall attribution (always on)
+
 	committed uint64
 	lastWB    int64
 
@@ -157,6 +161,7 @@ func (c *Core) Mispredicts() uint64 { return c.fe.Mispredicts }
 // Cycle advances the core by one clock.
 func (c *Core) Cycle() {
 	now := c.now
+	committed0 := c.committed
 	c.OccIQ.Add(c.iq.len())
 	c.OccSCB.Add(c.win.len())
 	c.OccSB.Add(c.sb.Len())
@@ -165,8 +170,70 @@ func (c *Core) Cycle() {
 	c.issue(now)
 	c.dispatch()
 	c.fe.Cycle(now)
+	c.tickCPI(now, committed0)
 	c.now++
 	c.acct.Cycles++
+}
+
+// SetPipeTrace installs (or removes, with nil) a pipeline-event recorder.
+func (c *Core) SetPipeTrace(rec *ptrace.Recorder) {
+	c.pt = rec
+	c.fe.SetPipeTrace(rec)
+}
+
+// CPIStack exposes the per-cycle stall attribution accumulated so far.
+func (c *Core) CPIStack() *ptrace.CPI { return &c.cpi }
+
+func (c *Core) emit(cycle int64, seq uint64, k ptrace.Kind) {
+	if c.pt != nil {
+		c.pt.Emit(ptrace.Event{Cycle: cycle, Seq: seq, Kind: k})
+	}
+}
+
+// tickCPI attributes the cycle that just executed to exactly one CPI
+// bucket, publishing non-base cycles as stall events when tracing is on.
+func (c *Core) tickCPI(now int64, committed0 uint64) {
+	b, seq := c.classifyCycle(now, committed0)
+	c.cpi.Add(b)
+	if c.pt != nil && b != ptrace.BucketBase {
+		c.pt.Emit(ptrace.Event{Cycle: now, Seq: seq, Kind: ptrace.KindStall, Stall: b})
+	}
+}
+
+// classifyCycle decides the cycle's CPI bucket: base if anything
+// committed, otherwise why the oldest in-flight instruction has not
+// written back yet. Runs after every pipeline stage using pure reads only.
+func (c *Core) classifyCycle(now int64, committed0 uint64) (ptrace.Bucket, uint64) {
+	if c.committed > committed0 {
+		return ptrace.BucketBase, 0
+	}
+	if c.win.len() > 0 {
+		e := c.win.at(0)
+		wb := e.done
+		if wb < c.lastWB {
+			wb = c.lastWB // in-order write-back slot
+		}
+		if wb > now {
+			if e.op.Class.IsMem() {
+				return ptrace.BucketDCache, e.op.Seq
+			}
+			return ptrace.BucketExec, e.op.Seq
+		}
+		// Completed head that did not commit: a store blocked on a full
+		// store buffer (retirement back-pressure).
+		return ptrace.BucketROBSQ, e.op.Seq
+	}
+	if c.iq.len() > 0 {
+		e := c.iq.at(0)
+		if !c.srcsReady(e.op, now) {
+			return ptrace.BucketSrc, e.op.Seq
+		}
+		return ptrace.BucketFU, e.op.Seq
+	}
+	if !c.fe.Done() {
+		return ptrace.BucketICache, 0
+	}
+	return ptrace.BucketDrain, 0
 }
 
 // retireStores drains the store buffer head into the L1D.
@@ -209,6 +276,7 @@ func (c *Core) writeback(now int64) {
 		if c.OnCommit != nil {
 			c.OnCommit(e.op.Seq)
 		}
+		c.emit(now, e.op.Seq, ptrace.KindCommit)
 		c.win.popFront()
 		c.committed++
 	}
@@ -241,6 +309,8 @@ func (c *Core) issue(now int64) {
 		if op.Class == isa.Branch {
 			c.fe.BranchResolved(op.Seq, done)
 		}
+		c.emit(now, op.Seq, ptrace.KindIssue)
+		c.emit(done, op.Seq, ptrace.KindComplete)
 		c.win.pushBack(entry{op: op, done: done})
 		c.iq.popFront()
 	}
@@ -308,5 +378,6 @@ func (c *Core) dispatch() {
 		}
 		c.iq.pushBack(entry{op: op})
 		c.acct.Inc(c.hIQ, energy.Write, 1)
+		c.emit(c.now, op.Seq, ptrace.KindDispatch)
 	}
 }

@@ -129,6 +129,7 @@ func (c *Core) FastForward(to int64) {
 	sig := c.ffSig()
 	c.acct.BeginDelta()
 	sqReads0 := c.sq.Reads
+	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
 		panic("ooo: FastForward across a non-idle cycle (NextEvent bug)")
@@ -139,6 +140,7 @@ func (c *Core) FastForward(to int64) {
 	un := uint64(n)
 	c.acct.ScaleDelta(un)
 	c.sq.Reads += (c.sq.Reads - sqReads0) * un
+	c.cpi.ScaleDelta(&cpi0, un)
 	c.OccROB.AddN(c.n, un)
 	c.OccIQ.AddN(c.iqN, un)
 	c.OccSQ.AddN(c.sq.Len(), un)

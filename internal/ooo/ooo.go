@@ -18,6 +18,7 @@ import (
 	"casino/internal/lsu"
 	"casino/internal/mem"
 	"casino/internal/pipeline"
+	"casino/internal/ptrace"
 	"casino/internal/regfile"
 	"casino/internal/stats"
 	"casino/internal/trace"
@@ -110,6 +111,9 @@ type Core struct {
 
 	committed uint64
 
+	pt  *ptrace.Recorder // optional pipeline-event recorder (nil = off)
+	cpi ptrace.CPI       // per-cycle stall attribution (always on)
+
 	// OnCommit, when non-nil, observes each committed sequence number
 	// (architectural-invariant checking in tests).
 	OnCommit func(seq uint64)
@@ -188,6 +192,7 @@ func (c *Core) Done() bool {
 // Cycle advances one clock.
 func (c *Core) Cycle() {
 	now := c.now
+	committed0, flushes0 := c.committed, c.Flushes
 	c.OccROB.Add(c.n)
 	c.OccIQ.Add(c.iqN)
 	c.OccSQ.Add(c.sq.Len())
@@ -199,8 +204,70 @@ func (c *Core) Cycle() {
 	c.issue(now)
 	c.dispatch(now)
 	c.fe.Cycle(now)
+	c.tickCPI(now, committed0, flushes0)
 	c.now++
 	c.acct.Cycles++
+}
+
+// SetPipeTrace installs (or removes, with nil) a pipeline-event recorder.
+func (c *Core) SetPipeTrace(rec *ptrace.Recorder) {
+	c.pt = rec
+	c.fe.SetPipeTrace(rec)
+}
+
+// CPIStack exposes the per-cycle stall attribution accumulated so far.
+func (c *Core) CPIStack() *ptrace.CPI { return &c.cpi }
+
+func (c *Core) emit(cycle int64, seq uint64, k ptrace.Kind) {
+	if c.pt != nil {
+		c.pt.Emit(ptrace.Event{Cycle: cycle, Seq: seq, Kind: k})
+	}
+}
+
+// tickCPI attributes the cycle that just executed to exactly one CPI
+// bucket, publishing non-base cycles as stall events when tracing is on.
+func (c *Core) tickCPI(now int64, committed0, flushes0 uint64) {
+	b, seq := c.classifyCycle(now, committed0, flushes0)
+	c.cpi.Add(b)
+	if c.pt != nil && b != ptrace.BucketBase {
+		c.pt.Emit(ptrace.Event{Cycle: now, Seq: seq, Kind: ptrace.KindStall, Stall: b})
+	}
+}
+
+// classifyCycle decides the cycle's CPI bucket: base if anything
+// committed, replay if a flush fired, otherwise why the ROB head (the
+// commit bottleneck) has not retired. Uses only side-effect-free probes —
+// in particular it must not clear a head load's store-set wait the way
+// ready() does.
+func (c *Core) classifyCycle(now int64, committed0, flushes0 uint64) (ptrace.Bucket, uint64) {
+	if c.committed > committed0 {
+		return ptrace.BucketBase, 0
+	}
+	if c.Flushes > flushes0 {
+		return ptrace.BucketReplay, 0
+	}
+	if c.n > 0 {
+		e := c.at(0)
+		if e.issued {
+			if e.op.Class.IsMem() {
+				return ptrace.BucketDCache, e.op.Seq
+			}
+			return ptrace.BucketExec, e.op.Seq
+		}
+		t1 := c.rf.PeekReadyAt(e.srcP1)
+		t2 := c.rf.PeekReadyAt(e.srcP2)
+		if t1 >= regfile.NotReady || t2 >= regfile.NotReady || t1 > now || t2 > now {
+			return ptrace.BucketSrc, e.op.Seq
+		}
+		if e.op.Class == isa.Load && e.waitStore != lsu.NoSeq && !c.sq.ResolvedOrGone(e.waitStore) {
+			return ptrace.BucketDCache, e.op.Seq // store-set memory dependence
+		}
+		return ptrace.BucketFU, e.op.Seq
+	}
+	if !c.fe.Done() {
+		return ptrace.BucketICache, 0
+	}
+	return ptrace.BucketDrain, 0
 }
 
 func (c *Core) at(i int) *robEntry {
@@ -262,6 +329,7 @@ func (c *Core) commit(now int64) {
 		if c.OnCommit != nil {
 			c.OnCommit(op.Seq)
 		}
+		c.emit(now, op.Seq, ptrace.KindCommit)
 		c.head = (c.head + 1) % len(c.rob)
 		c.n--
 		c.committed++
@@ -290,6 +358,8 @@ func (c *Core) issue(now int64) {
 		c.iqN--
 		e.issued = true
 		e.issueCycle = now
+		c.emit(now, e.op.Seq, ptrace.KindIssueSpec)
+		c.emit(e.done, e.op.Seq, ptrace.KindComplete)
 		issued++
 		if e.op.HasDst() {
 			// Completion broadcasts the destination tag across both
@@ -393,12 +463,14 @@ func (c *Core) countFU(class isa.Class) {
 func (c *Core) violationFlush(victim uint64, now int64) {
 	c.Violations++
 	c.Flushes++
+	c.emit(now, victim, ptrace.KindFlush)
 	// Walk the ROB youngest-first, undoing renames down to the victim.
 	for c.n > 0 {
 		e := c.at(c.n - 1)
 		if e.op.Seq < victim {
 			break
 		}
+		c.emit(now, e.op.Seq, ptrace.KindSquash)
 		if e.newP != regfile.PRegNone {
 			c.rf.SetMapping(e.op.Dst, e.oldP)
 			c.rf.Release(e.newP)
@@ -475,6 +547,7 @@ func (c *Core) dispatch(now int64) {
 		}
 		c.acct.Inc(c.hROB, energy.Write, 1)
 		c.acct.Inc(c.hIQ, energy.Write, 1)
+		c.emit(now, op.Seq, ptrace.KindDispatch)
 		c.n++
 		c.iqN++
 	}

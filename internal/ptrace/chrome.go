@@ -1,0 +1,278 @@
+package ptrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event track (tid) layout. One process per run, one thread
+// per pipeline stage, so Perfetto renders a swim-lane per stage with one
+// slice per instruction, plus an instant-event lane for stall samples.
+const (
+	chromeTidStall   = 0
+	chromeTidFetch   = 1
+	chromeTidQueue   = 2
+	chromeTidExec    = 3
+	chromeTidCommit  = 4
+	chromeInstCat    = "inst"
+	chromeStallCat   = "stall"
+	chromeRecordName = "rec"
+)
+
+// chromeEvent is one trace-event record (the subset of the Chrome
+// trace-event format the sink emits: complete slices "X", instants "i"
+// and metadata "M").
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// ChromeSink buffers the event stream and, at Close, writes a Chrome
+// trace-event JSON file loadable in Perfetto (or chrome://tracing). Each
+// instruction becomes one slice per pipeline stage across the per-stage
+// thread tracks; each stall cycle becomes an instant event on the stall
+// track. The full per-instruction record rides in the queue slice's args,
+// making the encoding lossless for ParseChromeTimeline.
+type ChromeSink struct {
+	w io.Writer
+	// Model names the traced core in the process metadata.
+	Model string
+	// Label, when non-nil, supplies slice names per sequence number.
+	Label func(seq uint64) string
+	evs   []Event
+}
+
+// NewChromeSink creates a sink writing to w at Close.
+func NewChromeSink(w io.Writer, model string) *ChromeSink {
+	return &ChromeSink{w: w, Model: model}
+}
+
+// Emit buffers e.
+func (s *ChromeSink) Emit(e Event) { s.evs = append(s.evs, e) }
+
+// Close encodes the buffered stream as trace-event JSON.
+func (s *ChromeSink) Close() error { return EncodeChrome(s.w, s.evs, s.Model, s.Label) }
+
+// EncodeChrome writes evs as Chrome trace-event JSON. label may be nil.
+func EncodeChrome(w io.Writer, evs []Event, model string, label func(seq uint64) string) error {
+	tl := BuildTimeline(evs)
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"model": model, "unit": "cycles"},
+	}
+	meta := func(tid int, name string) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "casino " + model},
+	})
+	meta(chromeTidStall, "stalls")
+	meta(chromeTidFetch, "fetch")
+	meta(chromeTidQueue, "queue")
+	meta(chromeTidExec, "execute")
+	meta(chromeTidCommit, "commit")
+
+	slice := func(tid int, name string, from, to int64, args map[string]any) {
+		dur := to - from
+		if dur < 0 {
+			dur = 0
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Cat: chromeInstCat, Ph: "X",
+			Ts: float64(from), Dur: float64(dur), Pid: 1, Tid: tid, Args: args,
+		})
+	}
+	for _, r := range tl.Recs {
+		name := fmt.Sprintf("op %d", r.Seq)
+		if label != nil {
+			name = label(r.Seq)
+		}
+		if r.Fetch >= 0 {
+			end := r.Dispatch
+			if end < 0 {
+				end = r.Fetch
+			}
+			slice(chromeTidFetch, name, r.Fetch, end, nil)
+		}
+		if r.Dispatch >= 0 {
+			end := r.Issue
+			if end < 0 {
+				end = r.Dispatch
+			}
+			// The queue slice carries the whole record, so the JSON is a
+			// lossless timeline encoding (see ParseChromeTimeline).
+			slice(chromeTidQueue, chromeRecordName, r.Dispatch, end, map[string]any{
+				"seq": r.Seq, "fetch": r.Fetch, "dispatch": r.Dispatch,
+				"pass": r.Pass, "issue": r.Issue, "complete": r.Complete,
+				"commit": r.Commit, "spec": r.Spec, "squashes": r.Squashes,
+				"label": name,
+			})
+		}
+		if r.Issue >= 0 && r.Complete >= 0 {
+			slice(chromeTidExec, name, r.Issue, r.Complete, nil)
+		}
+		if r.Complete >= 0 && r.Commit >= 0 {
+			slice(chromeTidCommit, name, r.Complete, r.Commit, nil)
+		}
+	}
+	for _, e := range evs {
+		if e.Kind != KindStall {
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "stall." + e.Stall.String(), Cat: chromeStallCat, Ph: "i",
+			Ts: float64(e.Cycle), Pid: 1, Tid: chromeTidStall, S: "t",
+			Args: map[string]any{"bucket": e.Stall.String(), "seq": e.Seq},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ParseChromeTimeline decodes trace-event JSON produced by EncodeChrome
+// back into the per-instruction timeline (the round-trip counterpart used
+// by the codec tests).
+func ParseChromeTimeline(r io.Reader) (*Timeline, error) {
+	var in chromeTrace
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("ptrace: chrome trace: %w", err)
+	}
+	tl := &Timeline{}
+	num := func(args map[string]any, key string) (int64, error) {
+		v, ok := args[key]
+		if !ok {
+			return 0, fmt.Errorf("ptrace: chrome record missing %q", key)
+		}
+		f, ok := v.(float64)
+		if !ok {
+			return 0, fmt.Errorf("ptrace: chrome record field %q is %T, want number", key, v)
+		}
+		return int64(f), nil
+	}
+	for _, e := range in.TraceEvents {
+		switch {
+		case e.Ph == "X" && e.Cat == chromeInstCat && e.Tid == chromeTidQueue:
+			var rec InstRecord
+			var err error
+			seq, err := num(e.Args, "seq")
+			if err != nil {
+				return nil, err
+			}
+			rec.Seq = uint64(seq)
+			for _, f := range []struct {
+				dst *int64
+				key string
+			}{
+				{&rec.Fetch, "fetch"}, {&rec.Dispatch, "dispatch"},
+				{&rec.Pass, "pass"}, {&rec.Issue, "issue"},
+				{&rec.Complete, "complete"}, {&rec.Commit, "commit"},
+			} {
+				if *f.dst, err = num(e.Args, f.key); err != nil {
+					return nil, err
+				}
+			}
+			if spec, ok := e.Args["spec"].(bool); ok {
+				rec.Spec = spec
+			}
+			sq, err := num(e.Args, "squashes")
+			if err != nil {
+				return nil, err
+			}
+			rec.Squashes = int(sq)
+			tl.Recs = append(tl.Recs, rec)
+		case e.Ph == "i" && e.Cat == chromeStallCat:
+			name, _ := e.Args["bucket"].(string)
+			found := false
+			for b := Bucket(0); b < NumBuckets; b++ {
+				if b.String() == name {
+					tl.Stalls[b]++
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("ptrace: chrome trace: unknown stall bucket %q", name)
+			}
+		}
+	}
+	return tl, nil
+}
+
+// ValidateChrome checks that r holds structurally valid Chrome trace-event
+// JSON: a traceEvents array whose members each carry the fields their
+// phase requires (name/ph/pid/tid for all, non-negative ts and dur for
+// complete slices). This is the schema gate CI runs on generated traces;
+// it validates the format contract Perfetto relies on, not our encoder's
+// private conventions.
+func ValidateChrome(r io.Reader) error {
+	var doc map[string]any
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("ptrace: chrome trace: invalid JSON: %w", err)
+	}
+	rawEvents, ok := doc["traceEvents"]
+	if !ok {
+		return fmt.Errorf("ptrace: chrome trace: missing traceEvents")
+	}
+	list, ok := rawEvents.([]any)
+	if !ok {
+		return fmt.Errorf("ptrace: chrome trace: traceEvents is %T, want array", rawEvents)
+	}
+	for i, raw := range list {
+		ev, ok := raw.(map[string]any)
+		if !ok {
+			return fmt.Errorf("ptrace: traceEvents[%d] is %T, want object", i, raw)
+		}
+		bad := func(why string) error {
+			return fmt.Errorf("ptrace: traceEvents[%d]: %s", i, why)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			return bad("missing ph")
+		}
+		if name, ok := ev["name"].(string); !ok || name == "" {
+			return bad("missing name")
+		}
+		for _, key := range []string{"pid", "tid"} {
+			if _, ok := ev[key].(float64); !ok {
+				return bad("missing " + key)
+			}
+		}
+		switch ph {
+		case "X":
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				return bad("complete slice needs non-negative ts")
+			}
+			if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+				return bad("complete slice has negative dur")
+			}
+		case "i":
+			if _, ok := ev["ts"].(float64); !ok {
+				return bad("instant event needs ts")
+			}
+		case "M":
+			// Metadata: name/pid/tid already checked.
+		default:
+			return bad("unsupported phase " + ph)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package ptrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: an 8-byte magic/version header, an 8-byte record
+// count, then fixed 20-byte little-endian records (cycle int64, seq
+// uint64, kind uint8, stall uint8, 2 bytes padding). Fixed-size records
+// keep the encoder allocation-free per event and make the file seekable.
+const (
+	ringMagic   = "CSNTRC01"
+	ringRecSize = 20
+)
+
+// RingSink keeps the last Cap events in a fixed circular buffer, so a
+// long run can trace unbounded streams with bounded memory and dump the
+// tail at Close. After the initial fill it never allocates.
+type RingSink struct {
+	w       io.Writer
+	buf     []Event
+	start   int
+	n       int
+	dropped uint64
+}
+
+// NewRingSink creates a ring of the given capacity that writes the
+// surviving window to w (binary format) at Close. cap must be positive.
+func NewRingSink(w io.Writer, capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &RingSink{w: w, buf: make([]Event, capacity)}
+}
+
+// Emit stores e, evicting the oldest event once full.
+func (s *RingSink) Emit(e Event) {
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = e
+		s.n++
+		return
+	}
+	s.buf[s.start] = e
+	s.start = (s.start + 1) % len(s.buf)
+	s.dropped++
+}
+
+// Dropped returns how many events were evicted to make room.
+func (s *RingSink) Dropped() uint64 { return s.dropped }
+
+// Events returns the retained window, oldest first.
+func (s *RingSink) Events() []Event {
+	out := make([]Event, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(s.start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// Close writes the retained window in the binary trace format.
+func (s *RingSink) Close() error {
+	if s.w == nil {
+		return nil
+	}
+	return WriteBinary(s.w, s.Events())
+}
+
+// WriteBinary encodes evs in the compact binary trace format.
+func WriteBinary(w io.Writer, evs []Event) error {
+	var hdr [16]byte
+	copy(hdr[:8], ringMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(evs)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [ringRecSize]byte
+	for _, e := range evs {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(e.Cycle))
+		binary.LittleEndian.PutUint64(rec[8:], e.Seq)
+		rec[16] = byte(e.Kind)
+		rec[17] = byte(e.Stall)
+		rec[18], rec[19] = 0, 0
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBinary decodes a binary trace written by WriteBinary.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ptrace: binary trace header: %w", err)
+	}
+	if string(hdr[:8]) != ringMagic {
+		return nil, fmt.Errorf("ptrace: bad binary trace magic %q", hdr[:8])
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	const maxRecords = 1 << 32 // sanity cap against corrupt counts
+	if count > maxRecords {
+		return nil, fmt.Errorf("ptrace: implausible binary trace record count %d", count)
+	}
+	evs := make([]Event, 0, count)
+	var rec [ringRecSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("ptrace: binary trace record %d: %w", i, err)
+		}
+		e := Event{
+			Cycle: int64(binary.LittleEndian.Uint64(rec[0:])),
+			Seq:   binary.LittleEndian.Uint64(rec[8:]),
+			Kind:  Kind(rec[16]),
+			Stall: Bucket(rec[17]),
+		}
+		if e.Kind >= NumKinds {
+			return nil, fmt.Errorf("ptrace: binary trace record %d: bad kind %d", i, rec[16])
+		}
+		if e.Stall >= NumBuckets {
+			return nil, fmt.Errorf("ptrace: binary trace record %d: bad bucket %d", i, rec[17])
+		}
+		evs = append(evs, e)
+	}
+	return evs, nil
+}

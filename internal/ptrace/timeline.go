@@ -1,0 +1,79 @@
+package ptrace
+
+import "sort"
+
+// InstRecord is one dynamic instruction's reconstructed stage timing.
+// Cycles are -1 when the stage was not observed (outside the window, or
+// the model has no such stage). Spec records whether the last observed
+// issue came from a speculative engine; Squashes counts how many times the
+// instruction was flushed and refetched before committing.
+type InstRecord struct {
+	Seq      uint64
+	Fetch    int64
+	Dispatch int64
+	Pass     int64
+	Issue    int64
+	Complete int64
+	Commit   int64
+	Spec     bool
+	Squashes int
+}
+
+// Timeline is the per-instruction view of an event stream plus the
+// aggregated per-bucket stall-cycle counts.
+type Timeline struct {
+	Recs    []InstRecord
+	Stalls  [NumBuckets]uint64
+	Flushes uint64
+}
+
+// BuildTimeline folds an event stream (in emission order) into per-
+// instruction records. A squash resets the instruction's post-dispatch
+// stages: the refetched execution re-reports them.
+func BuildTimeline(evs []Event) *Timeline {
+	tl := &Timeline{}
+	bySeq := make(map[uint64]*InstRecord)
+	rec := func(seq uint64) *InstRecord {
+		r, ok := bySeq[seq]
+		if !ok {
+			r = &InstRecord{Seq: seq, Fetch: -1, Dispatch: -1, Pass: -1, Issue: -1, Complete: -1, Commit: -1}
+			bySeq[seq] = r
+		}
+		return r
+	}
+	for _, e := range evs {
+		switch e.Kind {
+		case KindFetch:
+			rec(e.Seq).Fetch = e.Cycle
+		case KindDispatch:
+			rec(e.Seq).Dispatch = e.Cycle
+		case KindPass:
+			rec(e.Seq).Pass = e.Cycle
+		case KindIssue:
+			r := rec(e.Seq)
+			r.Issue, r.Spec = e.Cycle, false
+		case KindIssueSpec:
+			r := rec(e.Seq)
+			r.Issue, r.Spec = e.Cycle, true
+		case KindComplete:
+			rec(e.Seq).Complete = e.Cycle
+		case KindCommit:
+			rec(e.Seq).Commit = e.Cycle
+		case KindSquash:
+			r := rec(e.Seq)
+			r.Squashes++
+			r.Dispatch, r.Pass, r.Issue, r.Complete = -1, -1, -1, -1
+			r.Spec = false
+		case KindFlush:
+			tl.Flushes++
+		case KindStall:
+			tl.Stalls[e.Stall]++
+		}
+	}
+	tl.Recs = make([]InstRecord, 0, len(bySeq))
+	for _, r := range bySeq {
+		tl.Recs = append(tl.Recs, *r)
+	}
+	sort.Slice(tl.Recs, func(i, j int) bool { return tl.Recs[i].Seq < tl.Recs[j].Seq })
+	return tl
+}

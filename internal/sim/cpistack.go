@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+
+	"casino/internal/ptrace"
+	"casino/internal/stats"
+)
+
+// CPIStack runs every core model over the selected workloads and renders
+// the per-model CPI stack: for each stall-attribution bucket, the fraction
+// of all simulated cycles (warm-up included, summed across apps) that the
+// model charged to it. Because every cycle lands in exactly one bucket
+// (the ptrace.CPI invariant, enforced per run), each row sums to 1 — the
+// observability companion to the IPC figures: not just *how fast* each
+// scheduling discipline is, but *where* its cycles go.
+//
+// The second return value maps model label → bucket name → fraction.
+func CPIStack(o Options) (*stats.Table, map[string]map[string]float64, error) {
+	labels := []string{"InO", "LSC", "Freeway", "CASINO", "OoO", "SpecInO[2,1]"}
+	res, err := runMatrix(o, func(string) []Spec {
+		return []Spec{
+			{Model: ModelInO},
+			{Model: ModelLSC},
+			{Model: ModelFreeway},
+			{Model: ModelCASINO},
+			{Model: ModelOoO},
+			{Model: ModelSpecInO},
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	buckets := ptrace.BucketNames()
+	header := append([]string{"model"}, buckets...)
+	t := stats.NewTable(header...)
+	frac := make(map[string]map[string]float64, len(labels))
+	for i, name := range labels {
+		var cycles float64
+		sums := make([]float64, len(buckets))
+		for _, app := range o.apps() {
+			r := res[app][i]
+			total := r.Extra["cpi.cycles"]
+			var sum float64
+			for bi, b := range buckets {
+				v := r.Extra["cpi."+b]
+				sums[bi] += v
+				sum += v
+			}
+			if total == 0 || sum != total {
+				return nil, nil, fmt.Errorf("sim: %s/%s CPI stack sums to %.0f of %.0f cycles", name, app, sum, total)
+			}
+			cycles += total
+		}
+		frac[name] = make(map[string]float64, len(buckets))
+		row := make([]interface{}, 0, len(buckets)+1)
+		row = append(row, name)
+		for bi, b := range buckets {
+			f := stats.Ratio(sums[bi], cycles)
+			frac[name][b] = f
+			row = append(row, f)
+		}
+		t.AddRow(row...)
+	}
+	return t, frac, nil
+}

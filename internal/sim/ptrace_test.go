@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"casino/internal/ptrace"
+)
+
+// TestTraceSinkDisablesFastForward is the regression test for the
+// pipeview+fast-forward interaction: a run with an active trace sink must
+// simulate every cycle itself (no event-horizon jumps), otherwise the sink
+// would see a run with its idle cycles silently elided.
+func TestTraceSinkDisablesFastForward(t *testing.T) {
+	spec := Spec{Model: ModelCASINO, Workload: "mcf", Ops: 4000, Warmup: 500, Seed: 3}
+
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Extra["ff.jumps"] == 0 {
+		t.Fatalf("baseline run took no fast-forward jumps; the test needs an FF-active workload")
+	}
+
+	var stalls uint64
+	spec.TraceSink = ptrace.SinkFunc(func(e ptrace.Event) {
+		if e.Kind == ptrace.KindStall {
+			stalls++
+		}
+	})
+	traced, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := traced.Extra["ff.jumps"]; got != 0 {
+		t.Errorf("traced run took %v fast-forward jumps, want 0", got)
+	}
+	// Every non-commit cycle publishes exactly one stall event, so the sink
+	// must have observed the idle cycles FF would have skipped.
+	wantStalls := traced.Extra["cpi.cycles"] - traced.Extra["cpi.base"]
+	if float64(stalls) != wantStalls {
+		t.Errorf("sink saw %d stall events, want %v (cpi.cycles - cpi.base)", stalls, wantStalls)
+	}
+}
+
+// TestTraceSinkMetricsUnperturbed checks the observer effect is zero: a
+// run with a sink attached produces bit-identical metrics to the same run
+// without one (fast-forward disabled on both, since a sink implies it).
+func TestTraceSinkMetricsUnperturbed(t *testing.T) {
+	spec := Spec{Model: ModelCASINO, Workload: "astar", Ops: 3000, Warmup: 500, Seed: 1,
+		DisableFastForward: true}
+	base, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.TraceSink = ptrace.SinkFunc(func(ptrace.Event) {})
+	traced, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != traced.Cycles || base.Instructions != traced.Instructions {
+		t.Fatalf("cycles/instructions changed under tracing: %d/%d vs %d/%d",
+			base.Cycles, base.Instructions, traced.Cycles, traced.Instructions)
+	}
+	if len(base.Extra) != len(traced.Extra) {
+		t.Fatalf("metric count changed under tracing: %d vs %d", len(base.Extra), len(traced.Extra))
+	}
+	for k, v := range base.Extra {
+		if tv, ok := traced.Extra[k]; !ok || tv != v {
+			t.Errorf("metric %s changed under tracing: %v vs %v", k, v, tv)
+		}
+	}
+	if base.TotalPJ != traced.TotalPJ {
+		t.Errorf("energy changed under tracing: %v vs %v", base.TotalPJ, traced.TotalPJ)
+	}
+}
+
+// TestCPIStackSumsToCycles is the CPI-stack soundness property across all
+// models, workloads of different character, and both clocking schemes:
+// every simulated cycle is attributed to exactly one bucket (the in-run
+// Check enforces sum == total), and fast-forwarding must not change the
+// attribution by a single cycle.
+func TestCPIStackSumsToCycles(t *testing.T) {
+	t.Parallel()
+	for _, wl := range []string{"mcf", "hmmer", "xalancbmk"} {
+		for _, model := range Models() {
+			wl, model := wl, model
+			t.Run(fmt.Sprintf("%s/%s", model, wl), func(t *testing.T) {
+				t.Parallel()
+				spec := Spec{Model: model, Workload: wl, Ops: 3000, Warmup: 500, Seed: 2}
+				ff, err := Run(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec.DisableFastForward = true
+				noff, err := Run(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range []Result{ff, noff} {
+					var sum float64
+					for _, b := range ptrace.BucketNames() {
+						sum += r.Extra["cpi."+b]
+					}
+					if total := r.Extra["cpi.cycles"]; sum != total || total == 0 {
+						t.Errorf("buckets sum to %v of %v cycles", sum, total)
+					}
+				}
+				for _, b := range append(ptrace.BucketNames(), "cycles") {
+					k := "cpi." + b
+					if ff.Extra[k] != noff.Extra[k] {
+						t.Errorf("%s differs across fast-forward: %v (FF) vs %v (no FF)",
+							k, ff.Extra[k], noff.Extra[k])
+					}
+				}
+			})
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"casino/internal/ino"
 	"casino/internal/mem"
 	"casino/internal/ooo"
+	"casino/internal/ptrace"
 	"casino/internal/slice"
 	"casino/internal/specino"
 	"casino/internal/stats"
@@ -47,6 +48,14 @@ type Core interface {
 	Now() int64
 	Committed() uint64
 	Done() bool
+}
+
+// pipeTracer is the observability interface every repository model
+// implements: SetPipeTrace installs a pipeline-event recorder (nil turns
+// tracing off) and CPIStack exposes the per-cycle stall attribution.
+type pipeTracer interface {
+	SetPipeTrace(*ptrace.Recorder)
+	CPIStack() *ptrace.CPI
 }
 
 // fastForwarder is the optional event-horizon interface a core may
@@ -93,6 +102,14 @@ type Spec struct {
 	// environment variable has the same effect (useful for A/B timing and
 	// the determinism test). Results must be bit-identical either way.
 	DisableFastForward bool
+
+	// TraceSink, when non-nil, receives the run's pipeline events (see the
+	// ptrace package) filtered through TraceWindow. An active sink implies
+	// DisableFastForward: fast-forward skips provably idle cycles, and a
+	// tracing run wants to observe those cycles, not summarize them. Run
+	// does not close the sink; the caller owns its lifecycle.
+	TraceSink   ptrace.Sink
+	TraceWindow ptrace.Window
 }
 
 // Result is the outcome of one measured run.
@@ -187,6 +204,14 @@ func Run(s Spec) (Result, error) {
 	if s.DisableFastForward || os.Getenv("CASINO_NO_FASTFORWARD") != "" {
 		ff = nil
 	}
+	if s.TraceSink != nil {
+		pt, ok := c.(pipeTracer)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: model %q does not support pipeline tracing", s.Model)
+		}
+		pt.SetPipeTrace(ptrace.NewRecorder(s.TraceSink, s.TraceWindow))
+		ff = nil // trace every cycle; FF would elide the idle ones
+	}
 	var ffJumps, ffSkipped uint64
 	lastCommitted := ^uint64(0) // != Committed(): never probe before the first cycle
 	const cycleCap = 400_000_000
@@ -223,6 +248,13 @@ func Run(s Spec) (Result, error) {
 		return Result{}, fmt.Errorf("sim: %s/%s exceeded cycle cap at %d committed", s.Model, tr.Name, c.Committed())
 	}
 
+	if pt, ok := c.(pipeTracer); ok {
+		// CPI-stack invariant: every simulated cycle (fast-forwarded ones
+		// included) attributed to exactly one bucket.
+		if err := pt.CPIStack().Check(uint64(c.Now())); err != nil {
+			return Result{}, fmt.Errorf("sim: %s/%s: %w", s.Model, tr.Name, err)
+		}
+	}
 	simulatedCycles.Add(uint64(c.Now()))
 	cycles := uint64(c.Now() - cyc0)
 	instrs := c.Committed() - warm

@@ -178,6 +178,7 @@ func (c *Core) FastForward(to int64) {
 	sig := c.ffSig()
 	c.acct.BeginDelta()
 	sbReads0 := c.sb.Reads
+	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
 		panic("slice: FastForward across a non-idle cycle (NextEvent bug)")
@@ -188,6 +189,7 @@ func (c *Core) FastForward(to int64) {
 	un := uint64(n)
 	c.acct.ScaleDelta(un)
 	c.sb.Reads += (c.sb.Reads - sbReads0) * un
+	c.cpi.ScaleDelta(&cpi0, un)
 	c.OccAQ.AddN(c.aq.len(), un)
 	c.OccBQ.AddN(c.bq.len(), un)
 	if c.OccYQ != nil {

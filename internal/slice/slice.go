@@ -20,6 +20,7 @@ import (
 	"casino/internal/lsu"
 	"casino/internal/mem"
 	"casino/internal/pipeline"
+	"casino/internal/ptrace"
 	"casino/internal/stats"
 	"casino/internal/trace"
 )
@@ -114,6 +115,9 @@ type Core struct {
 
 	committed uint64
 
+	pt  *ptrace.Recorder // optional pipeline-event recorder (nil = off)
+	cpi ptrace.CPI       // per-cycle stall attribution
+
 	// OnCommit, when non-nil, observes each committed sequence number
 	// (architectural-invariant checking in tests).
 	OnCommit func(seq uint64)
@@ -205,6 +209,7 @@ func (c *Core) recycle(e *entry) { c.free = append(c.free, e) }
 // Cycle advances one clock.
 func (c *Core) Cycle() {
 	now := c.now
+	committed0 := c.committed
 	c.OccAQ.Add(c.aq.len())
 	c.OccBQ.Add(c.bq.len())
 	if c.OccYQ != nil {
@@ -217,6 +222,7 @@ func (c *Core) Cycle() {
 	c.issue(now)
 	c.dispatch()
 	c.fe.Cycle(now)
+	c.tickCPI(now, committed0)
 	c.now++
 	c.acct.Cycles++
 }
@@ -253,6 +259,7 @@ func (c *Core) commit(now int64) {
 		if c.OnCommit != nil {
 			c.OnCommit(op.Seq)
 		}
+		c.emit(now, op.Seq, ptrace.KindCommit)
 		c.window.popFront()
 		c.committed++
 		// A committed producer reads as complete either way; dropping the
@@ -288,6 +295,14 @@ func (c *Core) issueQueue(q *entRing, handle int, now int64, slots *int) {
 		q.popFront()
 		c.acct.Inc(handle, energy.Read, 1)
 		c.execute(e, now)
+		if c.pt != nil {
+			k := ptrace.KindIssueSpec // B-IQ/Y-IQ run ahead of the A-IQ
+			if q == &c.aq {
+				k = ptrace.KindIssue
+			}
+			c.emit(now, e.op.Seq, k)
+			c.emit(e.done, e.op.Seq, ptrace.KindComplete)
+		}
 		*slots--
 	}
 }
@@ -440,6 +455,7 @@ func (c *Core) dispatch() {
 		}
 		target.pushBack(e)
 		c.window.pushBack(e)
+		c.emit(c.now, op.Seq, ptrace.KindDispatch)
 		if op.Class == isa.Store {
 			c.stores.pushBack(e)
 		}
@@ -482,4 +498,79 @@ func (c *Core) trainIBDA(op *isa.MicroOp) {
 		c.istOrder = append(c.istOrder, pc)
 		c.acct.Inc(c.hIST, energy.Write, 1)
 	}
+}
+
+// SetPipeTrace installs (or removes, with nil) a pipeline-event recorder.
+// The front end shares the recorder so fetch events join the same stream.
+func (c *Core) SetPipeTrace(rec *ptrace.Recorder) {
+	c.pt = rec
+	c.fe.SetPipeTrace(rec)
+}
+
+// CPIStack exposes the per-cycle stall attribution accumulated so far.
+func (c *Core) CPIStack() *ptrace.CPI { return &c.cpi }
+
+func (c *Core) emit(cycle int64, seq uint64, k ptrace.Kind) {
+	if c.pt != nil {
+		c.pt.Emit(ptrace.Event{Cycle: cycle, Seq: seq, Kind: k})
+	}
+}
+
+// tickCPI attributes the cycle that just executed to exactly one CPI bucket
+// and, when a recorder is active, publishes non-base cycles as stall events
+// tagged with the culprit instruction. Classification is side-effect-free:
+// it must not call ready(), which charges a scoreboard read per invocation.
+func (c *Core) tickCPI(now int64, committed0 uint64) {
+	b, seq := c.classifyCycle(now, committed0)
+	c.cpi.Add(b)
+	if c.pt != nil && b != ptrace.BucketBase {
+		c.pt.Emit(ptrace.Event{Cycle: now, Seq: seq, Kind: ptrace.KindStall, Stall: b})
+	}
+}
+
+// entPending reports whether a weak producer reference still blocks issue
+// at cycle now — the pure mirror of one clause of ready().
+func entPending(p *entry, seq uint64, now int64) bool {
+	q := liveEnt(p, seq)
+	return q != nil && (!q.issued || q.done > now)
+}
+
+// classifyCycle decides the cycle's CPI bucket: base if anything committed,
+// otherwise the reason the oldest in-flight instruction (the commit
+// bottleneck) has not retired. The window head is always the head of
+// whichever queue holds it — queues fill and drain in program order among
+// their members — so head-of-queue reasoning applies directly.
+func (c *Core) classifyCycle(now int64, committed0 uint64) (ptrace.Bucket, uint64) {
+	if c.committed > committed0 {
+		return ptrace.BucketBase, 0
+	}
+	if c.window.len() > 0 {
+		e := c.window.at(0)
+		if e.issued {
+			if e.done > now {
+				if e.op.Class.IsMem() {
+					return ptrace.BucketDCache, e.op.Seq
+				}
+				return ptrace.BucketExec, e.op.Seq
+			}
+			// Done but uncommitted: a store waiting on a full store buffer
+			// (the only commit-side resource a slice core can run out of).
+			return ptrace.BucketROBSQ, e.op.Seq
+		}
+		if entPending(e.prod1, e.prodSeq1, now) ||
+			entPending(e.prod2, e.prodSeq2, now) ||
+			entPending(e.waw, e.wawSeq, now) {
+			return ptrace.BucketSrc, e.op.Seq
+		}
+		if e.op.Class == isa.Load && c.anyOlderUnresolvedStore(e) {
+			// Conservative memory ordering: charged to the memory system,
+			// since the wait exists only because the core cannot disambiguate.
+			return ptrace.BucketDCache, e.op.Seq
+		}
+		return ptrace.BucketFU, e.op.Seq
+	}
+	if !c.fe.Done() {
+		return ptrace.BucketICache, 0
+	}
+	return ptrace.BucketDrain, 0
 }

@@ -163,6 +163,7 @@ func (c *Core) FastForward(to int64) {
 	}
 	sig := c.ffSig()
 	c.acct.BeginDelta()
+	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
 		panic("specino: FastForward across a non-idle cycle (NextEvent bug)")
@@ -171,6 +172,7 @@ func (c *Core) FastForward(to int64) {
 		return
 	}
 	c.acct.ScaleDelta(uint64(n))
+	c.cpi.ScaleDelta(&cpi0, uint64(n))
 	if w := c.winPos + c.cfg.SO*int(min64(n, int64(len(c.iq)))); true {
 		// Guard the multiply against pathological n; the cap below makes any
 		// overshoot equivalent.

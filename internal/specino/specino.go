@@ -14,6 +14,7 @@ import (
 	"casino/internal/isa"
 	"casino/internal/mem"
 	"casino/internal/pipeline"
+	"casino/internal/ptrace"
 	"casino/internal/trace"
 )
 
@@ -56,6 +57,9 @@ type Core struct {
 	lastStores []*entry // in-flight stores, oldest first
 
 	committed uint64
+
+	pt  *ptrace.Recorder // optional pipeline-event recorder (nil = off)
+	cpi ptrace.CPI       // per-cycle stall attribution
 
 	// OnCommit, when non-nil, observes each committed sequence number
 	// (architectural-invariant checking in tests).
@@ -124,10 +128,12 @@ func (c *Core) olderWaiting(idx int) bool {
 // Cycle advances one clock.
 func (c *Core) Cycle() {
 	now := c.now
+	committed0 := c.committed
 	c.commit(now)
 	c.issue(now)
 	c.dispatch()
 	c.fe.Cycle(now)
+	c.tickCPI(now, committed0)
 	c.now++
 	c.acct.Cycles++
 }
@@ -149,6 +155,7 @@ func (c *Core) commit(now int64) {
 		if c.OnCommit != nil {
 			c.OnCommit(e.op.Seq)
 		}
+		c.emit(now, e.op.Seq, ptrace.KindCommit)
 		c.iq = c.iq[1:]
 		if c.winPos > 0 {
 			c.winPos--
@@ -188,6 +195,10 @@ func (c *Core) issue(now int64) {
 			c.OoOIssued++
 		}
 		c.execute(e, now)
+		if c.pt != nil {
+			c.emit(now, e.op.Seq, ptrace.KindIssue)
+			c.emit(e.done, e.op.Seq, ptrace.KindComplete)
+		}
 		c.HeadIssued++
 		slots--
 		idx++
@@ -216,6 +227,10 @@ func (c *Core) issue(now int64) {
 			c.OoOIssued++
 		}
 		c.execute(e, now)
+		if c.pt != nil {
+			c.emit(now, e.op.Seq, ptrace.KindIssueSpec)
+			c.emit(e.done, e.op.Seq, ptrace.KindComplete)
+		}
 		c.SpecIssued++
 		issuedFromWindow = true
 		slots--
@@ -298,5 +313,66 @@ func (c *Core) dispatch() {
 			c.lastStores = append(c.lastStores, e)
 		}
 		c.iq = append(c.iq, e)
+		c.emit(c.now, op.Seq, ptrace.KindDispatch)
 	}
+}
+
+// SetPipeTrace installs (or removes, with nil) a pipeline-event recorder.
+// The front end shares the recorder so fetch events join the same stream.
+func (c *Core) SetPipeTrace(rec *ptrace.Recorder) {
+	c.pt = rec
+	c.fe.SetPipeTrace(rec)
+}
+
+// CPIStack exposes the per-cycle stall attribution accumulated so far.
+func (c *Core) CPIStack() *ptrace.CPI { return &c.cpi }
+
+func (c *Core) emit(cycle int64, seq uint64, k ptrace.Kind) {
+	if c.pt != nil {
+		c.pt.Emit(ptrace.Event{Cycle: cycle, Seq: seq, Kind: k})
+	}
+}
+
+// tickCPI attributes the cycle that just executed to exactly one CPI bucket
+// and, when a recorder is active, publishes non-base cycles as stall events
+// tagged with the culprit instruction.
+func (c *Core) tickCPI(now int64, committed0 uint64) {
+	b, seq := c.classifyCycle(now, committed0)
+	c.cpi.Add(b)
+	if c.pt != nil && b != ptrace.BucketBase {
+		c.pt.Emit(ptrace.Event{Cycle: now, Seq: seq, Kind: ptrace.KindStall, Stall: b})
+	}
+}
+
+// classifyCycle decides the cycle's CPI bucket: base if anything committed,
+// otherwise the reason the IQ head (the commit bottleneck) has not retired.
+// The limit study has perfect renaming and store buffering, so the only
+// possible blockers are execution latency, dataflow, and the front end.
+func (c *Core) classifyCycle(now int64, committed0 uint64) (ptrace.Bucket, uint64) {
+	if c.committed > committed0 {
+		return ptrace.BucketBase, 0
+	}
+	if len(c.iq) > 0 {
+		e := c.iq[0]
+		if e.issued {
+			// done > now always holds here: a completed head with a free
+			// commit slot (nothing committed) would have retired this cycle.
+			if e.op.Class.IsMem() {
+				return ptrace.BucketDCache, e.op.Seq
+			}
+			return ptrace.BucketExec, e.op.Seq
+		}
+		if r, ok := c.readyAt(e); !ok || r > now {
+			if p := e.stFwd; p != nil && (!p.issued || p.done > now) {
+				// Oracle disambiguation holds the load for an older store.
+				return ptrace.BucketDCache, e.op.Seq
+			}
+			return ptrace.BucketSrc, e.op.Seq
+		}
+		return ptrace.BucketFU, e.op.Seq
+	}
+	if !c.fe.Done() {
+		return ptrace.BucketICache, 0
+	}
+	return ptrace.BucketDrain, 0
 }

@@ -52,6 +52,11 @@ type Metric struct {
 	Value    float64    `json:"value"`
 	Count    uint64     `json:"count,omitempty"`
 	Overflow float64    `json:"overflow,omitempty"`
+	// P50/P90/P99 are distribution quantiles, recorded for KindHist only
+	// (see Hist.Quantile for the overflow-bucket caveat).
+	P50 float64 `json:"p50,omitempty"`
+	P90 float64 `json:"p90,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
 }
 
 // Registry collects the typed metrics of one simulation run. The cycle
@@ -110,6 +115,9 @@ func (r *Registry) Hist(name string, h *Hist) {
 	if h.Count() > 0 {
 		mt.Overflow = float64(h.Overflow()) / float64(h.Count())
 	}
+	mt.P50 = float64(h.Quantile(0.50))
+	mt.P90 = float64(h.Quantile(0.90))
+	mt.P99 = float64(h.Quantile(0.99))
 }
 
 // Len returns the number of registered metrics.
@@ -147,6 +155,9 @@ func (r *Registry) Flatten() map[string]float64 {
 			if mt.Overflow != 0 {
 				out[name+".overflow"] = mt.Overflow
 			}
+			out[name+".p50"] = mt.P50
+			out[name+".p90"] = mt.P90
+			out[name+".p99"] = mt.P99
 		default:
 			out[name] = mt.Value
 		}

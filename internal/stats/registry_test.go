@@ -64,6 +64,9 @@ func TestRegistryHistFlatten(t *testing.T) {
 		"occ.iq.mean":     4, // (1+2+9)/3
 		"occ.iq.count":    3,
 		"occ.iq.overflow": 1.0 / 3.0,
+		"occ.iq.p50":      2, // values 1,2,9: rank 2 of 3
+		"occ.iq.p90":      4, // overflow observations report the range bound
+		"occ.iq.p99":      4,
 	}
 	if !reflect.DeepEqual(flat, want) {
 		t.Fatalf("Flatten() = %v, want %v", flat, want)

@@ -115,6 +115,34 @@ func (h *Hist) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Quantile returns the smallest recorded value v such that at least
+// q*Count observations are <= v (the inverse-CDF convention; q is clamped
+// to [0,1]). Observations in the overflow bucket are only known to be >=
+// the bucket range, so a quantile landing there reports the range bound —
+// a lower bound on the true value. Returns 0 for an empty histogram.
+func (h *Hist) Quantile(q float64) int {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for v, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			return v
+		}
+	}
+	return len(h.buckets)
+}
+
 // Bucket returns the count of observations with value v (0 for out of range).
 func (h *Hist) Bucket(v int) uint64 {
 	if v < 0 || v >= len(h.buckets) {

@@ -152,3 +152,31 @@ func TestHistAddNEquivalence(t *testing.T) {
 		t.Errorf("total weighted count = %d, want 15", bulk.Count())
 	}
 }
+
+func TestHistQuantile(t *testing.T) {
+	h := NewHist(16)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty hist quantile should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(i % 10) // uniform over 0..9
+	}
+	cases := []struct {
+		q    float64
+		want int
+	}{
+		{0, 0}, {0.05, 0}, {0.5, 4}, {0.9, 8}, {0.99, 9}, {1, 9}, {1.5, 9}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	// Quantiles landing in the overflow bucket report the range bound.
+	o := NewHist(4)
+	o.Add(1)
+	o.Add(100)
+	if got := o.Quantile(0.99); got != 4 {
+		t.Errorf("overflow Quantile(0.99) = %d, want 4", got)
+	}
+}
