@@ -3,6 +3,7 @@ package core
 import (
 	"casino/internal/bpred"
 	"casino/internal/energy"
+	"casino/internal/eventq"
 	"casino/internal/frontend"
 	"casino/internal/isa"
 	"casino/internal/lsu"
@@ -81,6 +82,7 @@ type Core struct {
 	lq   *lsu.LoadQueue // conventional LQ (DisambigFullLQ only)
 	osca *lsu.OSCA
 	log  regfile.RecoveryLog
+	wq   *eventq.Queue // shared wakeup queue (event-driven clock)
 
 	lineSent *lineSentinels   // TSO load-load ordering sentinels (§III-C4)
 	remote   *remoteInjector  // synthetic coherence traffic (nil = off)
@@ -167,6 +169,15 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	}
 	c.lineSent = newLineSentinels()
 	c.remote = newRemoteInjector(cfg.Remote)
+	// Shared wakeup queue: sized for the in-flight event population (one
+	// completion per ROB/SQ entry plus stalls) so it never grows.
+	c.wq = eventq.New(2*(cfg.ROBSize+cfg.SQSize) + 16)
+	c.fus.SetWakeQueue(c.wq)
+	c.sq.SetWakeQueue(c.wq)
+	hier.SetWakeQueue(c.wq)
+	if c.remote != nil {
+		c.wq.Wake(c.remote.next)
+	}
 	nq := 2 + cfg.MidSIQs
 	c.queues = make([]opRing, nq)
 	c.queues[0] = newOpRing(cfg.SIQSize)
@@ -178,6 +189,7 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
 		tr.Reader(), bpred.NewPredictor(), hier, acct)
+	c.fe.SetWakeQueue(c.wq)
 
 	siqEntries := cfg.SIQSize + cfg.MidSIQs*cfg.MidSIQSize
 	c.hSIQ = acct.Register(energy.Structure{Name: "S-IQ", Entries: siqEntries, Bits: 64, Ports: 2 * cfg.Width})
@@ -252,11 +264,18 @@ func (c *Core) RemoteStats() (invals, withheld, delayCycles uint64) {
 func (c *Core) Cycle() {
 	now := c.now
 	committed0, flushes0 := c.committed, c.Flushes
+	c.wq.Drain(now)
 	c.OccSIQ.Add(c.queues[0].len())
 	c.OccIQ.Add(c.queues[len(c.queues)-1].len())
 	c.OccROB.Add(c.rob.len())
 	c.OccSQ.Add(c.sq.Len())
-	c.remote.tick(now, c.lineSent, c.rob.len())
+	if r := c.remote; r != nil {
+		next0 := r.next
+		r.tick(now, c.lineSent, c.rob.len())
+		if r.next != next0 {
+			c.wq.Wake(r.next)
+		}
+	}
 	c.retireStores(now)
 	c.commit(now)
 	c.schedule(now)

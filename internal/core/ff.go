@@ -1,6 +1,7 @@
 package core
 
 import (
+	"casino/internal/eventq"
 	"casino/internal/isa"
 	"casino/internal/regfile"
 )
@@ -8,8 +9,58 @@ import (
 // noEvent mirrors lsu.NoEvent: no progress through the passage of time.
 const noEvent = int64(1) << 62
 
+// NextWake returns the earliest cycle >= now at which the core might make
+// progress, driving the event-driven clock. Two O(1) pre-checks catch the
+// streaming progress the wakeup queue deliberately does not track — dispatch
+// into the first S-IQ and fetch — and everything else comes from the shared
+// queue, on which every stored future cycle (completion times, stall
+// expiries, busy-until slots, the remote injector's schedule) was registered
+// when it was stored. Unlike the retired polled scan this never walks the
+// queues; FastForward's embedded cycle is the progress check.
+func (c *Core) NextWake() int64 {
+	now := c.now
+	if c.fe.BufLen() > 0 && c.queues[0].len() < c.queues[0].cap() {
+		return now
+	}
+	if c.fe.NextFetchEvent(now) <= now {
+		return now
+	}
+	return c.wq.Horizon(now)
+}
+
+// WakeStats exposes the shared wakeup queue's activity counters.
+func (c *Core) WakeStats() eventq.Stats { return c.wq.Stats() }
+
+// ProgressSignature folds the fast-forward progress signature into one
+// value; the sim package's property tests use it to detect, from outside,
+// whether a cycle changed observable state.
+func (c *Core) ProgressSignature() uint64 {
+	// FNV-1a chained by hand: this runs on every commit-free cycle, so it
+	// must not materialize an array (stack copies) per call.
+	const p = 1099511628211
+	s := c.ffSig()
+	h := uint64(1469598103934665603)
+	h = (h ^ s.committed) * p
+	h = (h ^ s.fetched) * p
+	h = (h ^ s.issued) * p
+	h = (h ^ s.l1) * p
+	h = (h ^ s.flushes) * p
+	h = (h ^ s.remote) * p
+	h = (h ^ uint64(s.queues)) * p
+	h = (h ^ uint64(s.rob)) * p
+	h = (h ^ uint64(s.sq)) * p
+	h = (h ^ uint64(s.lq)) * p
+	h = (h ^ uint64(s.dbUsed)) * p
+	h = (h ^ uint64(s.buf)) * p
+	return h
+}
+
 // NextEvent returns the earliest cycle >= now at which Cycle() could change
-// observable state. The probe mirrors the schedulers read-only: every
+// observable state. The event-driven driver no longer calls it — NextWake
+// replaced it on the hot path — but it remains the independent oracle the
+// property tests check the registration contract against: a registered
+// wakeup must never be later than the first event this scan derives from
+// pipeline state. The probe mirrors the schedulers read-only: every
 // readiness check goes through Peek* accessors so probing a stalled core
 // never perturbs the activity counts the energy model bills, and every
 // readiness source reports its *individual* arrival time — CASINO's
@@ -270,19 +321,22 @@ func (c *Core) ffSig() ffSig {
 	return s
 }
 
-// FastForward advances the clock to cycle `to` across cycles NextEvent()
-// proved idle. One embedded real Cycle() performs the exact idle-cycle
-// accounting — occupancy samples, stall diagnostics, the scoreboard and
-// RAT probe charges of the frozen window, the energy model's static
-// per-cycle costs — and its deltas are replayed in bulk for the remaining
+// FastForward runs one real Cycle() and, if that cycle turned out idle,
+// jumps the clock toward `to`. The embedded cycle performs the exact
+// idle-cycle accounting — occupancy samples, stall diagnostics, the
+// scoreboard and RAT probe charges of the frozen window, the energy model's
+// static per-cycle costs — and its deltas are replayed in bulk for the
 // skipped cycles. Cycle() stays the single source of truth; FastForward
-// never re-derives a charge. Panics if the embedded cycle made progress,
-// which would mean NextEvent is unsound.
-func (c *Core) FastForward(to int64) {
-	n := to - c.now - 1
-	if n < 0 {
-		return
-	}
+// never re-derives a charge.
+//
+// Returns false when the embedded cycle changed observable state: the cycle
+// stands as a normal, fully-accounted cycle and nothing was skipped (the
+// event-driven driver attempts jumps optimistically, so a bail is routine,
+// not an error). On the idle path the jump target is re-clamped by the
+// queue's post-cycle horizon — the embedded cycle itself may have registered
+// a nearer wakeup (an I-cache refill it started, say) that the pre-cycle
+// NextWake could not see.
+func (c *Core) FastForward(to int64) bool {
 	sig := c.ffSig()
 	c.acct.BeginDelta()
 	st0 := [6]uint64{c.StallIQFull, c.StallPReg, c.StallProdCount, c.StallROBSQ, c.StallFU, c.StallDataBuf}
@@ -295,10 +349,14 @@ func (c *Core) FastForward(to int64) {
 	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
-		panic("core: FastForward across a non-idle cycle (NextEvent bug)")
+		return false
 	}
-	if n == 0 {
-		return
+	if h := c.wq.Horizon(c.now); h < to {
+		to = h
+	}
+	n := to - c.now
+	if n <= 0 {
+		return true
 	}
 	un := uint64(n)
 	c.acct.ScaleDelta(un)
@@ -320,4 +378,5 @@ func (c *Core) FastForward(to int64) {
 	c.OccROB.AddN(c.rob.len(), un)
 	c.OccSQ.AddN(c.sq.Len(), un)
 	c.now += n
+	return true
 }

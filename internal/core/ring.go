@@ -22,8 +22,15 @@ func (r *opRing) len() int { return r.n }
 func (r *opRing) cap() int { return len(r.buf) }
 
 // at returns the i-th oldest entry (0 = oldest). i must be in [0, len).
+// Index wrap uses a conditional subtract instead of %: head and i are both
+// bounded by the capacity, and the divide showed up at the top of cycle
+// profiles.
 func (r *opRing) at(i int) *opEntry {
-	return r.buf[(r.head+i)%len(r.buf)]
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return r.buf[j]
 }
 
 // pushBack appends the youngest entry. Callers check capacity first; a
@@ -32,7 +39,11 @@ func (r *opRing) pushBack(e *opEntry) {
 	if r.n == len(r.buf) {
 		panic("core: opRing push on full ring")
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = e
+	j := r.head + r.n
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	r.buf[j] = e
 	r.n++
 }
 
@@ -40,14 +51,20 @@ func (r *opRing) pushBack(e *opEntry) {
 func (r *opRing) popFront() *opEntry {
 	e := r.buf[r.head]
 	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
 	r.n--
 	return e
 }
 
 // popBack removes and returns the youngest entry (flush recovery).
 func (r *opRing) popBack() *opEntry {
-	i := (r.head + r.n - 1) % len(r.buf)
+	i := r.head + r.n - 1
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
 	e := r.buf[i]
 	r.buf[i] = nil
 	r.n--

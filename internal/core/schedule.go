@@ -441,6 +441,11 @@ func (c *Core) issueOp(e *opEntry, now int64, fromSIQ bool) {
 	default:
 		e.done = now + int64(op.Class.ExecLatency())
 	}
+	// A completion next cycle needs no wakeup: this issue already makes the
+	// current cycle non-idle, so no jump can start before the effect lands.
+	if e.done > now+1 {
+		c.wq.Wake(e.done)
+	}
 
 	if e.newP != regfile.PRegNone {
 		c.rf.SetReadyAt(e.newP, e.done)

@@ -1,0 +1,215 @@
+package eventq
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var q *Queue
+	q.Wake(10)
+	q.Drain(5)
+	if got := q.NextAfter(0); got != NoEvent {
+		t.Fatalf("nil NextAfter = %d, want NoEvent", got)
+	}
+	if got := q.Horizon(0); got != NoEvent {
+		t.Fatalf("nil Horizon = %d, want NoEvent", got)
+	}
+	if q.Len() != 0 || (q.Stats() != Stats{}) {
+		t.Fatalf("nil queue reports non-zero state")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	q := New(8)
+	for _, v := range []int64{50, 10, 30, 10, 20, 40} {
+		q.Wake(v)
+	}
+	want := []int64{10, 20, 30, 40, 50}
+	now := int64(0)
+	for _, w := range want {
+		got := q.NextAfter(now)
+		if got != w {
+			t.Fatalf("NextAfter(%d) = %d, want %d", now, got, w)
+		}
+		now = got
+	}
+	if got := q.NextAfter(now); got != NoEvent {
+		t.Fatalf("drained queue returned %d, want NoEvent", got)
+	}
+}
+
+func TestNextAfterConsumesAtNow(t *testing.T) {
+	q := New(4)
+	q.Wake(5)
+	q.Wake(9)
+	if got := q.NextAfter(5); got != 9 {
+		t.Fatalf("NextAfter(5) = %d, want 9 (wakeup at 5 consumed)", got)
+	}
+}
+
+func TestHorizonKeepsEventAtNow(t *testing.T) {
+	q := New(4)
+	q.Wake(3)
+	q.Wake(5)
+	q.Wake(9)
+	if got := q.Horizon(5); got != 5 {
+		t.Fatalf("Horizon(5) = %d, want 5 (wakeup at now pending)", got)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Horizon(5) left %d events, want 2 (only past consumed)", q.Len())
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	q := New(4)
+	q.NextAfter(100) // floor at 100
+	q.Wake(50)       // past: coalesced
+	q.Wake(100)      // at the floor: coalesced
+	q.Wake(200)
+	q.Wake(200) // duplicate of the minimum: coalesced
+	s := q.Stats()
+	if s.Wakeups != 4 || s.Coalesced != 3 {
+		t.Fatalf("stats = %+v, want 4 wakeups / 3 coalesced", s)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("heap len = %d, want 1", q.Len())
+	}
+}
+
+func TestHeapMax(t *testing.T) {
+	q := New(4)
+	for i := int64(10); i > 0; i-- {
+		q.Wake(i)
+	}
+	if s := q.Stats(); s.HeapMax != 10 {
+		t.Fatalf("HeapMax = %d, want 10", s.HeapMax)
+	}
+}
+
+func TestDrainBoundsHeap(t *testing.T) {
+	q := New(4)
+	for now := int64(1); now <= 10000; now++ {
+		q.Drain(now)
+		q.Wake(now + 3)
+	}
+	if q.Len() > 4 {
+		t.Fatalf("heap grew to %d despite per-cycle Drain", q.Len())
+	}
+}
+
+// stdHeap is the reference implementation the randomized test diffs against.
+type stdHeap []int64
+
+func (h stdHeap) Len() int            { return len(h) }
+func (h stdHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h stdHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stdHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *stdHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestRandomizedAgainstReference drives Wake/NextAfter with random
+// interleavings and checks the observable horizon sequence against a
+// container/heap reference that applies the same coalescing rules.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := New(8)
+	ref := &stdHeap{}
+	floor := int64(0)
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(3) != 0 {
+			t := floor + rng.Int63n(40) - 4
+			q.Wake(t)
+			if t > floor && !(ref.Len() > 0 && (*ref)[0] == t) {
+				heap.Push(ref, t)
+			}
+			continue
+		}
+		now := floor + rng.Int63n(8)
+		got := q.NextAfter(now)
+		if now > floor {
+			floor = now
+		}
+		for ref.Len() > 0 && (*ref)[0] <= now {
+			heap.Pop(ref)
+		}
+		want := int64(NoEvent)
+		if ref.Len() > 0 {
+			want = (*ref)[0]
+		}
+		if got != want {
+			t.Fatalf("step %d: NextAfter(%d) = %d, want %d", step, now, got, want)
+		}
+	}
+}
+
+// TestFullDrainSorted pushes a random batch and verifies a full drain comes
+// out sorted.
+func TestFullDrainSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := New(1)
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = 1 + rng.Int63n(1000)
+		q.Wake(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	now := int64(0)
+	for {
+		got := q.NextAfter(now)
+		if got == NoEvent {
+			break // remaining heap entries (duplicates <= now) were consumed
+		}
+		// Skip reference values consumed by coalescing or <= now.
+		for len(vals) > 0 && (vals[0] <= now || vals[0] < got) {
+			vals = vals[1:]
+		}
+		if len(vals) == 0 || vals[0] != got {
+			t.Fatalf("drain out of order: got %d, remaining ref %v...", got, vals[:min(3, len(vals))])
+		}
+		now = got
+	}
+	for _, v := range vals {
+		if v > now {
+			t.Fatalf("queue reported empty but reference still holds %d > %d", v, now)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkEventQueue measures the steady-state Wake/NextAfter cycle the
+// driver and models exercise per simulated event. The CI bench-regression
+// job gates this benchmark at 0 allocs/op: the heap must never grow in
+// steady state.
+func BenchmarkEventQueue(b *testing.B) {
+	q := New(256)
+	// Warm the backing array to steady-state occupancy.
+	for i := int64(0); i < 64; i++ {
+		q.Wake(i * 3)
+	}
+	now := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		q.Wake(now + 7)
+		q.Wake(now + 200)
+		q.Drain(now)
+		if q.NextAfter(now) == NoEvent {
+			b.Fatal("queue unexpectedly empty")
+		}
+	}
+}

@@ -13,6 +13,7 @@ package frontend
 import (
 	"casino/internal/bpred"
 	"casino/internal/energy"
+	"casino/internal/eventq"
 	"casino/internal/isa"
 	"casino/internal/mem"
 	"casino/internal/ptrace"
@@ -38,8 +39,10 @@ type FrontEnd struct {
 	acct *energy.Accountant
 
 	pt *ptrace.Recorder // optional pipeline-event recorder (nil = off)
+	wq *eventq.Queue    // optional shared wakeup queue (nil = off)
 
-	buf        []*isa.MicroOp
+	buf        []*isa.MicroOp // ring of BufCap slots
+	head, n    int
 	stallUntil int64
 	blockedOn  uint64 // seq of the unresolved mispredicted branch
 	lastLine   uint64
@@ -58,7 +61,7 @@ func New(cfg Config, rd *trace.Reader, pred *bpred.Predictor, hier *mem.Hierarch
 	}
 	return &FrontEnd{
 		cfg: cfg, rd: rd, pred: pred, hier: hier, acct: acct,
-		buf:       make([]*isa.MicroOp, 0, cfg.BufCap),
+		buf:       make([]*isa.MicroOp, cfg.BufCap),
 		blockedOn: NoSeq,
 	}
 }
@@ -68,7 +71,7 @@ func (f *FrontEnd) Cycle(now int64) {
 	if now < f.stallUntil || f.blockedOn != NoSeq {
 		return
 	}
-	for n := 0; n < f.cfg.Width && len(f.buf) < f.cfg.BufCap; n++ {
+	for n := 0; n < f.cfg.Width && f.n < f.cfg.BufCap; n++ {
 		op := f.rd.Peek(0)
 		if op == nil {
 			return
@@ -84,12 +87,18 @@ func (f *FrontEnd) Cycle(now int64) {
 			if extra := done - now - hitLat; extra > 0 {
 				// I-cache miss: bubble for the extra latency, retry then.
 				f.stallUntil = now + extra
+				f.wq.Wake(f.stallUntil)
 				f.ICacheStalls++
 				return
 			}
 		}
 		f.rd.Next()
-		f.buf = append(f.buf, op)
+		if i := f.head + f.n; i < len(f.buf) {
+			f.buf[i] = op
+		} else {
+			f.buf[i-len(f.buf)] = op
+		}
+		f.n++
 		f.Fetched++
 		if f.pt != nil {
 			f.pt.Emit(ptrace.Event{Cycle: now, Seq: op.Seq, Kind: ptrace.KindFetch})
@@ -124,7 +133,7 @@ const noEvent = int64(1) << 62
 // mispredicted branch, a full dispatch buffer, an exhausted trace) — those
 // unblock via core events the fast-forward probe already tracks.
 func (f *FrontEnd) NextFetchEvent(now int64) int64 {
-	if f.blockedOn != NoSeq || len(f.buf) >= f.cfg.BufCap || f.rd.Peek(0) == nil {
+	if f.blockedOn != NoSeq || f.n >= f.cfg.BufCap || f.rd.Peek(0) == nil {
 		return noEvent
 	}
 	if now < f.stallUntil {
@@ -137,25 +146,35 @@ func (f *FrontEnd) NextFetchEvent(now int64) int64 {
 // the front end contributes the fetch events of the shared stream.
 func (f *FrontEnd) SetPipeTrace(rec *ptrace.Recorder) { f.pt = rec }
 
+// SetWakeQueue attaches the shared wakeup queue; the front end registers
+// every stall expiry (I-cache refills, redirect penalties) as it is stored.
+func (f *FrontEnd) SetWakeQueue(q *eventq.Queue) { f.wq = q }
+
 // BufLen returns the number of buffered decoded ops.
-func (f *FrontEnd) BufLen() int { return len(f.buf) }
+func (f *FrontEnd) BufLen() int { return f.n }
 
 // Peek returns the i'th buffered op without consuming it (nil if absent).
 func (f *FrontEnd) Peek(i int) *isa.MicroOp {
-	if i < 0 || i >= len(f.buf) {
+	if i < 0 || i >= f.n {
 		return nil
 	}
-	return f.buf[i]
+	if j := f.head + i; j < len(f.buf) {
+		return f.buf[j]
+	} else {
+		return f.buf[j-len(f.buf)]
+	}
 }
 
 // Pop consumes and returns the oldest buffered op (nil if empty).
 func (f *FrontEnd) Pop() *isa.MicroOp {
-	if len(f.buf) == 0 {
+	if f.n == 0 {
 		return nil
 	}
-	op := f.buf[0]
-	copy(f.buf, f.buf[1:])
-	f.buf = f.buf[:len(f.buf)-1]
+	op := f.buf[f.head]
+	if f.head++; f.head == len(f.buf) {
+		f.head = 0
+	}
+	f.n--
 	return op
 }
 
@@ -170,6 +189,7 @@ func (f *FrontEnd) BranchResolved(seq uint64, done int64) {
 	f.haveLine = false
 	if s := done + int64(f.cfg.Depth); s > f.stallUntil {
 		f.stallUntil = s
+		f.wq.Wake(s)
 	}
 }
 
@@ -178,11 +198,12 @@ func (f *FrontEnd) BranchResolved(seq uint64, done int64) {
 // violation recovery).
 func (f *FrontEnd) Squash(seq uint64, now int64) {
 	f.rd.Seek(int(seq))
-	f.buf = f.buf[:0]
+	f.head, f.n = 0, 0
 	f.blockedOn = NoSeq
 	f.haveLine = false
 	if s := now + int64(f.cfg.Depth); s > f.stallUntil {
 		f.stallUntil = s
+		f.wq.Wake(s)
 	}
 }
 
@@ -190,4 +211,4 @@ func (f *FrontEnd) Squash(seq uint64, now int64) {
 func (f *FrontEnd) Blocked() bool { return f.blockedOn != NoSeq }
 
 // Done reports whether the trace is exhausted and the buffer drained.
-func (f *FrontEnd) Done() bool { return f.rd.Done() && len(f.buf) == 0 }
+func (f *FrontEnd) Done() bool { return f.rd.Done() && f.n == 0 }

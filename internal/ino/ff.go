@@ -1,11 +1,49 @@
 package ino
 
 import (
+	"casino/internal/eventq"
 	"casino/internal/isa"
 )
 
 // noEvent mirrors lsu.NoEvent: no progress through the passage of time.
 const noEvent = int64(1) << 62
+
+// NextWake returns the earliest cycle >= now at which the core might make
+// progress, driving the event-driven clock. Dispatch and fetch progress are
+// the only state changes not tied to a registered wakeup, so two O(1)
+// pre-checks cover them and the shared queue covers everything else.
+func (c *Core) NextWake() int64 {
+	now := c.now
+	if c.fe.BufLen() > 0 && c.iq.len() < c.cfg.IQSize {
+		return now
+	}
+	if c.fe.NextFetchEvent(now) <= now {
+		return now
+	}
+	return c.wq.Horizon(now)
+}
+
+// WakeStats exposes the shared wakeup queue's activity counters.
+func (c *Core) WakeStats() eventq.Stats { return c.wq.Stats() }
+
+// ProgressSignature folds the fast-forward progress signature into one
+// value for the sim package's property tests.
+func (c *Core) ProgressSignature() uint64 {
+	// FNV-1a chained by hand: this runs on every commit-free cycle, so it
+	// must not materialize an array (stack copies) per call.
+	const p = 1099511628211
+	s := c.ffSig()
+	h := uint64(1469598103934665603)
+	h = (h ^ s.committed) * p
+	h = (h ^ s.fetched) * p
+	h = (h ^ s.issued) * p
+	h = (h ^ s.l1) * p
+	h = (h ^ uint64(s.iq)) * p
+	h = (h ^ uint64(s.win)) * p
+	h = (h ^ uint64(s.sb)) * p
+	h = (h ^ uint64(s.buf)) * p
+	return h
+}
 
 // NextEvent returns the earliest cycle >= now at which Cycle() could change
 // any observable state: commit/write-back, store retirement, an issue, a
@@ -103,29 +141,29 @@ func (c *Core) ffSig() ffSig {
 	}
 }
 
-// FastForward advances the clock to cycle `to`, where NextEvent() proved
-// cycles [now, to) idle. It simulates the first of those cycles for real —
-// Cycle() remains the single source of truth for per-cycle accounting —
-// then replays that cycle's accounting deltas (energy counts, stall
-// counters, occupancy samples) for the remaining to-now-1 copies in bulk
-// and jumps the clock. A changed progress signature after the embedded
-// cycle means NextEvent was wrong, which would silently corrupt results,
-// so it panics instead.
-func (c *Core) FastForward(to int64) {
-	n := to - c.now - 1
-	if n < 0 {
-		return
-	}
+// FastForward runs one real Cycle() and, if that cycle turned out idle,
+// jumps the clock toward `to`. Cycle() remains the single source of truth
+// for per-cycle accounting; the embedded cycle's deltas (energy counts,
+// stall counters, occupancy samples) are replayed in bulk for the skipped
+// copies. Returns false when the embedded cycle changed observable state —
+// the cycle stands as a normal cycle and nothing was skipped. The jump
+// target is re-clamped by the queue's post-cycle horizon, which sees any
+// wakeup the embedded cycle itself registered.
+func (c *Core) FastForward(to int64) bool {
 	sig := c.ffSig()
 	c.acct.BeginDelta()
 	src0, res0, sbReads0 := c.IssueStallsSrc, c.IssueStallsRes, c.sb.Reads
 	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
-		panic("ino: FastForward across a non-idle cycle (NextEvent bug)")
+		return false
 	}
-	if n == 0 {
-		return
+	if h := c.wq.Horizon(c.now); h < to {
+		to = h
+	}
+	n := to - c.now
+	if n <= 0 {
+		return true
 	}
 	un := uint64(n)
 	c.acct.ScaleDelta(un)
@@ -137,4 +175,5 @@ func (c *Core) FastForward(to int64) {
 	c.OccSCB.AddN(c.win.len(), un)
 	c.OccSB.AddN(c.sb.Len(), un)
 	c.now += n
+	return true
 }

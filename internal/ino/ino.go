@@ -10,6 +10,7 @@ package ino
 import (
 	"casino/internal/bpred"
 	"casino/internal/energy"
+	"casino/internal/eventq"
 	"casino/internal/frontend"
 	"casino/internal/isa"
 	"casino/internal/lsu"
@@ -89,6 +90,7 @@ type Core struct {
 	fus  *pipeline.FUPool
 	acct *energy.Accountant
 	sb   *lsu.StoreQueue
+	wq   *eventq.Queue // shared wakeup queue (event-driven clock)
 
 	iq  entRing // dispatched, waiting to issue (FIFO)
 	win entRing // issued, waiting for in-order write-back (SCB window)
@@ -134,9 +136,14 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 		OccSCB: stats.NewHist(cfg.SCBSize + 1),
 		OccSB:  stats.NewHist(cfg.SBSize + 1),
 	}
+	c.wq = eventq.New(2*(cfg.SCBSize+cfg.SBSize) + 16)
+	c.fus.SetWakeQueue(c.wq)
+	c.sb.SetWakeQueue(c.wq)
+	hier.SetWakeQueue(c.wq)
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
 		tr.Reader(), bpred.NewPredictor(), hier, acct)
+	c.fe.SetWakeQueue(c.wq)
 	c.hIQ = acct.Register(energy.Structure{Name: "IQ", Entries: cfg.IQSize, Bits: 64, Ports: 2 * cfg.Width})
 	c.hSCB = acct.Register(energy.Structure{Name: "SCB", Entries: cfg.SCBSize, Bits: 48, Ports: 2 * cfg.Width})
 	c.hARF = acct.Register(energy.Structure{Name: "ARF", Entries: isa.NumArchRegs, Bits: 64, Ports: 3 * cfg.Width})
@@ -162,6 +169,7 @@ func (c *Core) Mispredicts() uint64 { return c.fe.Mispredicts }
 func (c *Core) Cycle() {
 	now := c.now
 	committed0 := c.committed
+	c.wq.Drain(now)
 	c.OccIQ.Add(c.iq.len())
 	c.OccSCB.Add(c.win.len())
 	c.OccSB.Add(c.sb.Len())
@@ -303,6 +311,11 @@ func (c *Core) issue(now int64) {
 		c.acct.Inc(c.hARF, energy.Read, 2)
 
 		done := c.execute(op, now)
+		// A completion next cycle needs no wakeup: this issue already makes
+		// the current cycle non-idle, so no jump can start before it lands.
+		if done > now+1 {
+			c.wq.Wake(done)
+		}
 		if op.HasDst() {
 			c.regReady[op.Dst] = done
 		}

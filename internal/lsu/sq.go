@@ -5,7 +5,11 @@
 // conventional load queue for the OoO baseline.
 package lsu
 
-import "fmt"
+import (
+	"fmt"
+
+	"casino/internal/eventq"
+)
 
 // NoSeq marks an absent sequence number.
 const NoSeq = ^uint64(0)
@@ -36,6 +40,7 @@ type StoreQueue struct {
 	entries []SQEntry
 	head    int
 	count   int
+	wq      *eventq.Queue
 
 	// Activity counters (drive Fig. 8 and the energy model).
 	Searches       uint64 // associative searches (issue + commit validations)
@@ -55,6 +60,11 @@ func NewStoreQueue(n int) *StoreQueue {
 	return &StoreQueue{entries: make([]SQEntry, n)}
 }
 
+// SetWakeQueue attaches the shared wakeup queue. The store queue registers
+// every stored future cycle — data-ready times at resolve, cache-update
+// completions at retirement start — as it is written.
+func (q *StoreQueue) SetWakeQueue(wq *eventq.Queue) { q.wq = wq }
+
 // Cap returns the capacity.
 func (q *StoreQueue) Cap() int { return len(q.entries) }
 
@@ -65,7 +75,11 @@ func (q *StoreQueue) Len() int { return q.count }
 func (q *StoreQueue) Full() bool { return q.count == len(q.entries) }
 
 func (q *StoreQueue) at(i int) *SQEntry {
-	return &q.entries[(q.head+i)%len(q.entries)]
+	j := q.head + i
+	if j >= len(q.entries) {
+		j -= len(q.entries)
+	}
+	return &q.entries[j]
 }
 
 // Dispatch allocates a tail entry for the store with sequence seq.
@@ -101,6 +115,7 @@ func (q *StoreQueue) Resolve(seq uint64, addr uint64, size uint8, now, dataReady
 	e.Resolved = true
 	e.ResolveCycle = now
 	e.DataReady = dataReady
+	q.wq.Wake(dataReady)
 	q.Writes++
 }
 
@@ -172,6 +187,7 @@ func (q *StoreQueue) StartRetire(done int64) {
 		panic("lsu: StartRetire on empty queue or already-retiring head")
 	}
 	e.RetireDone = done
+	q.wq.Wake(done)
 }
 
 // PopRetired removes the head if its cache update has completed by now,
@@ -182,7 +198,10 @@ func (q *StoreQueue) PopRetired(now int64) (SQEntry, bool) {
 		return SQEntry{}, false
 	}
 	out := *e
-	q.head = (q.head + 1) % len(q.entries)
+	q.head++
+	if q.head == len(q.entries) {
+		q.head = 0
+	}
 	q.count--
 	return out, true
 }

@@ -1,5 +1,7 @@
 package mem
 
+import "casino/internal/eventq"
+
 // Config holds the memory-system parameters of Table I.
 type Config struct {
 	L1ISize, L1IWays int
@@ -60,6 +62,7 @@ type Hierarchy struct {
 	DRAM *DRAM
 	mshr *MSHRs
 	pf   *StridePrefetcher
+	wq   *eventq.Queue
 
 	Loads      uint64
 	Stores     uint64
@@ -89,6 +92,12 @@ func NewHierarchy(cfg Config) *Hierarchy {
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// SetWakeQueue attaches the shared wakeup queue; every L1D fill completion
+// (MSHR/DRAM return) is registered as it is recorded. Callers also register
+// the completion cycles they store, so these wakeups mostly coalesce — they
+// exist so the memory system upholds the registration contract on its own.
+func (h *Hierarchy) SetWakeQueue(q *eventq.Queue) { h.wq = q }
 
 // Fetch models an instruction fetch of the line containing pc at cycle t
 // and returns the completion cycle (t + L1 latency on a hit).
@@ -136,6 +145,7 @@ func (h *Hierarchy) Load(pc, addr uint64, t int64) (int64, Level) {
 	probeL2 := start + int64(h.cfg.L1Latency)
 	done := h.fillFromL2(addr, probeL2, false)
 	h.mshr.Complete(line, done)
+	h.wq.Wake(done)
 	lvl := LvlL2
 	if done > probeL2+int64(h.cfg.L2Latency) {
 		lvl = LvlMem
@@ -171,6 +181,7 @@ func (h *Hierarchy) Store(pc, addr uint64, t int64) int64 {
 	}
 	done := h.fillFromL2(addr, start+int64(h.cfg.L1Latency), false)
 	h.mshr.Complete(line, done)
+	h.wq.Wake(done)
 	return done
 }
 

@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"casino/internal/eventq"
 	"casino/internal/isa"
 	"casino/internal/lsu"
 	"casino/internal/regfile"
@@ -8,6 +9,50 @@ import (
 
 // noEvent mirrors lsu.NoEvent: no progress through the passage of time.
 const noEvent = int64(1) << 62
+
+// NextWake returns the earliest cycle >= now at which the core might make
+// progress, driving the event-driven clock. The O(1) pre-checks mirror the
+// dispatch gates and fetch — the streaming progress the wakeup queue does
+// not track — and the shared queue covers every timed event; unlike
+// NextEvent it never scans the scheduler.
+func (c *Core) NextWake() int64 {
+	now := c.now
+	if op := c.fe.Peek(0); op != nil &&
+		c.n < len(c.rob) && c.iqN < c.cfg.IQSize &&
+		!(op.Class == isa.Store && c.sq.Full()) &&
+		!(c.lq != nil && op.Class == isa.Load && c.lq.Full()) &&
+		!(op.HasDst() && !c.rf.CanAllocate(op.Dst)) {
+		return now
+	}
+	if c.fe.NextFetchEvent(now) <= now {
+		return now
+	}
+	return c.wq.Horizon(now)
+}
+
+// WakeStats exposes the shared wakeup queue's activity counters.
+func (c *Core) WakeStats() eventq.Stats { return c.wq.Stats() }
+
+// ProgressSignature folds the fast-forward progress signature into one
+// value for the sim package's property tests.
+func (c *Core) ProgressSignature() uint64 {
+	// FNV-1a chained by hand: this runs on every commit-free cycle, so it
+	// must not materialize an array (stack copies) per call.
+	const p = 1099511628211
+	s := c.ffSig()
+	h := uint64(1469598103934665603)
+	h = (h ^ s.committed) * p
+	h = (h ^ s.fetched) * p
+	h = (h ^ s.issued) * p
+	h = (h ^ s.l1) * p
+	h = (h ^ s.flushes) * p
+	h = (h ^ uint64(s.n)) * p
+	h = (h ^ uint64(s.iqN)) * p
+	h = (h ^ uint64(s.sq)) * p
+	h = (h ^ uint64(s.lq)) * p
+	h = (h ^ uint64(s.buf)) * p
+	return h
+}
 
 // NextEvent returns the earliest cycle >= now at which Cycle() could change
 // observable state. The OoO scheduler examines every IQ entry each cycle,
@@ -116,26 +161,29 @@ func (c *Core) ffSig() ffSig {
 	return s
 }
 
-// FastForward advances the clock to cycle `to` across cycles NextEvent()
-// proved idle: one embedded real Cycle() supplies the exact idle-cycle
-// accounting (Cycle stays the single source of truth), whose deltas are
-// then replayed in bulk for the remaining skipped cycles. Panics if the
-// embedded cycle made progress — that would mean NextEvent is unsound.
-func (c *Core) FastForward(to int64) {
-	n := to - c.now - 1
-	if n < 0 {
-		return
-	}
+// FastForward runs one real Cycle() and, if that cycle turned out idle,
+// jumps the clock toward `to`: the embedded cycle supplies the exact
+// idle-cycle accounting (Cycle stays the single source of truth), whose
+// deltas are then replayed in bulk for the skipped cycles. Returns false
+// when the embedded cycle changed observable state — it stands as a normal
+// cycle and nothing was skipped. The jump target is re-clamped by the
+// queue's post-cycle horizon, which sees any wakeup the embedded cycle
+// itself registered.
+func (c *Core) FastForward(to int64) bool {
 	sig := c.ffSig()
 	c.acct.BeginDelta()
 	sqReads0 := c.sq.Reads
 	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
-		panic("ooo: FastForward across a non-idle cycle (NextEvent bug)")
+		return false
 	}
-	if n == 0 {
-		return
+	if h := c.wq.Horizon(c.now); h < to {
+		to = h
+	}
+	n := to - c.now
+	if n <= 0 {
+		return true
 	}
 	un := uint64(n)
 	c.acct.ScaleDelta(un)
@@ -148,4 +196,5 @@ func (c *Core) FastForward(to int64) {
 		c.OccLQ.AddN(c.lq.Len(), un)
 	}
 	c.now += n
+	return true
 }

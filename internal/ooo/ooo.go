@@ -13,6 +13,7 @@ package ooo
 import (
 	"casino/internal/bpred"
 	"casino/internal/energy"
+	"casino/internal/eventq"
 	"casino/internal/frontend"
 	"casino/internal/isa"
 	"casino/internal/lsu"
@@ -103,6 +104,7 @@ type Core struct {
 	sq   *lsu.StoreQueue
 	lq   *lsu.LoadQueue
 	ss   *lsu.StoreSets
+	wq   *eventq.Queue // shared wakeup queue (event-driven clock)
 
 	rob  []robEntry // ring
 	head int
@@ -155,10 +157,15 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 		c.lq = lsu.NewLoadQueue(cfg.LQSize)
 		c.OccLQ = stats.NewHist(cfg.LQSize + 1)
 	}
+	c.wq = eventq.New(2*(cfg.ROBSize+cfg.SQSize) + 16)
+	c.fus.SetWakeQueue(c.wq)
+	c.sq.SetWakeQueue(c.wq)
+	hier.SetWakeQueue(c.wq)
 	acct.FrontendScale = 1.4 // 9-stage pipeline vs the 7-stage InO
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
 		tr.Reader(), bpred.NewPredictor(), hier, acct)
+	c.fe.SetWakeQueue(c.wq)
 
 	c.hIQ = acct.Register(energy.Structure{Name: "IQ", Entries: cfg.IQSize, Bits: 96, Ports: 2 * cfg.Width, CAM: true, TagBits: 16})
 	c.hROB = acct.Register(energy.Structure{Name: "ROB", Entries: cfg.ROBSize, Bits: 96, Ports: 2 * cfg.Width})
@@ -193,6 +200,7 @@ func (c *Core) Done() bool {
 func (c *Core) Cycle() {
 	now := c.now
 	committed0, flushes0 := c.committed, c.Flushes
+	c.wq.Drain(now)
 	c.OccROB.Add(c.n)
 	c.OccIQ.Add(c.iqN)
 	c.OccSQ.Add(c.sq.Len())
@@ -354,6 +362,11 @@ func (c *Core) issue(now int64) {
 		c.acct.Inc(c.hIQ, energy.Read, 1)
 		c.acct.Inc(c.hPRF, energy.Read, 2)
 		c.executeOp(e, now)
+		// A completion next cycle needs no wakeup: this issue already makes
+		// the current cycle non-idle, so no jump can start before it lands.
+		if e.done > now+1 {
+			c.wq.Wake(e.done)
+		}
 		e.inIQ = false
 		c.iqN--
 		e.issued = true

@@ -2,7 +2,10 @@
 // the functional-unit pool and issue-port arbitration helpers.
 package pipeline
 
-import "casino/internal/isa"
+import (
+	"casino/internal/eventq"
+	"casino/internal/isa"
+)
 
 // FUPool models the execution resources of Table I: 2 integer ALUs, 2 FP
 // units and 2 AGUs. Pipelined units accept one op per cycle; unpipelined
@@ -10,7 +13,12 @@ import "casino/internal/isa"
 type FUPool struct {
 	units  [isa.NumFUKinds][]int64 // busy-until cycle per unit
 	Issued [isa.NumFUKinds]uint64
+	wq     *eventq.Queue
 }
+
+// SetWakeQueue attaches the shared wakeup queue. Unpipelined issues register
+// their busy-until cycle; pipelined units free next cycle and need no event.
+func (p *FUPool) SetWakeQueue(q *eventq.Queue) { p.wq = q }
 
 // NewFUPool creates a pool with n units of each kind.
 func NewFUPool(nALU, nFP, nAGU int) *FUPool {
@@ -73,6 +81,7 @@ func (p *FUPool) Issue(c isa.Class, now int64) bool {
 				p.units[kind][i] = now + 1
 			} else {
 				p.units[kind][i] = now + int64(c.ExecLatency())
+				p.wq.Wake(p.units[kind][i])
 			}
 			p.Issued[kind]++
 			return true

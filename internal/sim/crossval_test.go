@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"casino/internal/energy"
+	"casino/internal/mem"
+	"casino/internal/workload"
+)
+
+// metaMetric reports whether a metric describes the execution strategy
+// (jump accounting, wakeup-queue activity) rather than the modeled machine.
+// Only these may differ between event-driven and cycle-by-cycle runs.
+func metaMetric(k string) bool {
+	return strings.HasPrefix(k, "ff.") || strings.HasPrefix(k, "evq.")
+}
+
+// TestEventEngineCrossValidation is the randomized generalisation of
+// TestFastForwardDeterminism: every model, on randomly drawn short
+// workloads/seeds/lengths, must produce bit-identical results whether the
+// event-driven engine or plain cycle-by-cycle stepping drives the clock.
+// The workload draw is seeded, so failures reproduce.
+func TestEventEngineCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	names := workload.Names()
+	for _, m := range Models() {
+		for trial := 0; trial < 3; trial++ {
+			wl := names[rng.Intn(len(names))]
+			ops := 2000 + rng.Intn(4000)
+			spec := Spec{
+				Model:    m,
+				Workload: wl,
+				Ops:      ops,
+				Warmup:   ops / 4,
+				Seed:     rng.Int63n(1 << 30),
+			}
+			on, err := Run(spec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m, wl, err)
+			}
+			spec.DisableFastForward = true
+			off, err := Run(spec)
+			if err != nil {
+				t.Fatalf("%s/%s (step): %v", m, wl, err)
+			}
+			if on.Cycles != off.Cycles || on.Instructions != off.Instructions ||
+				on.IPC != off.IPC || on.DynamicPJ != off.DynamicPJ || on.StaticPJ != off.StaticPJ {
+				t.Errorf("%s/%s seed=%d ops=%d: headline results diverge",
+					m, wl, spec.Seed, ops)
+			}
+			for k, want := range off.Extra {
+				if metaMetric(k) {
+					continue
+				}
+				if got := on.Extra[k]; got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Errorf("%s/%s seed=%d ops=%d: metric %s: event=%v step=%v",
+						m, wl, spec.Seed, ops, k, got, want)
+				}
+			}
+			for k := range on.Extra {
+				if !metaMetric(k) {
+					if _, ok := off.Extra[k]; !ok {
+						t.Errorf("%s/%s: metric %s only published event-driven", m, wl, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// propCore is the surface the property tests need from a model: the public
+// run interface, the event-driven clock, the exhaustive NextEvent oracle,
+// and the folded progress signature. All five models implement it.
+type propCore interface {
+	Core
+	eventDriven
+	NextEvent() int64
+	ProgressSignature() uint64
+}
+
+// buildPair constructs two independent, identically-configured cores over
+// one shared (read-only) trace.
+func buildPair(t *testing.T, spec Spec) (a, b propCore) {
+	t.Helper()
+	tr, err := SharedTrace(spec.Workload, spec.Warmup+spec.Ops, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() propCore {
+		c, _, err := build(spec, tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Model, err)
+		}
+		pc, ok := c.(propCore)
+		if !ok {
+			t.Fatalf("%s: model does not implement the event-driven property surface", spec.Model)
+		}
+		return pc
+	}
+	return mk(), mk()
+}
+
+// stepChecked advances the cycle-by-cycle replica one cycle, asserting the
+// NextEvent oracle's contract: a wakeup/event bound strictly in the future
+// means this cycle cannot change observable state. Because every stored
+// future time must be registered (on the wakeup queue, and visible to the
+// oracle), a violation here means some latency source stored a time without
+// announcing it — exactly the bug class the event engine must not have.
+func stepChecked(t *testing.T, model string, b propCore) {
+	t.Helper()
+	now := b.Now()
+	bound := b.NextEvent()
+	sig0 := b.ProgressSignature()
+	b.Cycle()
+	if b.ProgressSignature() != sig0 && bound > now {
+		t.Fatalf("%s: cycle %d changed observable state but NextEvent promised idleness until %d",
+			model, now, bound)
+	}
+}
+
+// TestEventEngineJumpEquivalence replays the driver's event-driven protocol
+// on core A while stepping an identical replica B cycle-by-cycle, and
+// compares the folded progress signatures after every jump and every
+// stepped cycle. A jump that skipped a non-idle cycle diverges the pair at
+// the very next checkpoint, localizing the failure to one jump — a much
+// sharper probe than end-of-run manifest comparison. The replica's cycles
+// are each oracle-checked (stepChecked), which asserts the registration
+// property: no registered wakeup is later than the first observable state
+// change.
+func TestEventEngineJumpEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	names := workload.Names()
+	for _, m := range Models() {
+		wl := names[rng.Intn(len(names))]
+		spec := Spec{Model: m, Workload: wl, Ops: 6000, Warmup: 0, Seed: rng.Int63n(1 << 30)}
+		a, b := buildPair(t, spec)
+		target := uint64(spec.Ops)
+		var jumps uint64
+		lastSig := ^a.ProgressSignature()
+		const cap = 4_000_000
+		for a.Now() < cap && !a.Done() && a.Committed() < target {
+			if sig := a.ProgressSignature(); sig == lastSig {
+				if to := a.NextWake(); to > a.Now()+1 {
+					before := a.Now()
+					a.FastForward(to)
+					if a.Now() > before+1 {
+						jumps++
+					}
+					for b.Now() < a.Now() {
+						stepChecked(t, m, b)
+					}
+					if a.ProgressSignature() != b.ProgressSignature() || a.Committed() != b.Committed() {
+						t.Fatalf("%s/%s: replica diverged after jump %d -> %d (skipped %d)",
+							m, wl, before, a.Now(), a.Now()-before-1)
+					}
+					continue
+				}
+			} else {
+				lastSig = sig
+			}
+			a.Cycle()
+			stepChecked(t, m, b)
+			if a.ProgressSignature() != b.ProgressSignature() {
+				t.Fatalf("%s/%s: replica diverged at cycle %d", m, wl, a.Now())
+			}
+		}
+		if a.Committed() != b.Committed() {
+			t.Errorf("%s/%s: final commit counts diverge: %d vs %d", m, wl, a.Committed(), b.Committed())
+		}
+		if jumps == 0 {
+			t.Errorf("%s/%s: event engine never jumped; property check is vacuous", m, wl)
+		}
+	}
+}

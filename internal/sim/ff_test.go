@@ -53,8 +53,15 @@ func TestFastForwardDeterminism(t *testing.T) {
 			on.IPC != off.IPC || on.DynamicPJ != off.DynamicPJ || on.StaticPJ != off.StaticPJ {
 			t.Errorf("%s: headline results diverge: ff %+v vs step %+v", m, on, off)
 		}
+		// ff.* (jump accounting) and evq.* (wakeup-queue activity, only
+		// published when the event engine drives the run) describe the
+		// execution strategy, not the modeled machine — everything else must
+		// match bit-for-bit.
+		meta := func(k string) bool {
+			return strings.HasPrefix(k, "ff.") || strings.HasPrefix(k, "evq.")
+		}
 		for k, want := range off.Extra {
-			if strings.HasPrefix(k, "ff.") {
+			if meta(k) {
 				continue
 			}
 			if got := on.Extra[k]; got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
@@ -62,7 +69,7 @@ func TestFastForwardDeterminism(t *testing.T) {
 			}
 		}
 		for k := range on.Extra {
-			if !strings.HasPrefix(k, "ff.") {
+			if !meta(k) {
 				if _, ok := off.Extra[k]; !ok {
 					t.Errorf("%s: metric %s only published with ff on", m, k)
 				}
@@ -72,8 +79,12 @@ func TestFastForwardDeterminism(t *testing.T) {
 }
 
 // TestFastForwardEnvKill checks the CASINO_NO_FASTFORWARD escape hatch.
+// The environment variable is read once at process start into noFFEnv (Run
+// is hot-path), so the test flips the cached flag directly.
 func TestFastForwardEnvKill(t *testing.T) {
-	t.Setenv("CASINO_NO_FASTFORWARD", "1")
+	old := noFFEnv
+	noFFEnv = true
+	defer func() { noFFEnv = old }()
 	r, err := Run(Spec{Model: ModelCASINO, Workload: "gcc", Ops: 4000, Warmup: 1000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)

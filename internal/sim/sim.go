@@ -12,6 +12,7 @@ import (
 
 	"casino/internal/core"
 	"casino/internal/energy"
+	"casino/internal/eventq"
 	"casino/internal/ino"
 	"casino/internal/mem"
 	"casino/internal/ooo"
@@ -21,6 +22,11 @@ import (
 	"casino/internal/stats"
 	"casino/internal/trace"
 )
+
+// noFFEnv caches the CASINO_NO_FASTFORWARD kill switch at process start:
+// Run is on the hot path of every figure sweep and must not re-read the
+// environment per run. Tests flip the variable directly (with a restore).
+var noFFEnv = os.Getenv("CASINO_NO_FASTFORWARD") != ""
 
 // Model names accepted by Spec.Model.
 const (
@@ -58,14 +64,23 @@ type pipeTracer interface {
 	CPIStack() *ptrace.CPI
 }
 
-// fastForwarder is the optional event-horizon interface a core may
-// implement (all five repository models do). NextEvent returns the
-// earliest cycle >= Now() at which Cycle() could change observable state;
-// FastForward advances the clock to a proven-idle target while preserving
-// exact per-cycle accounting (see DESIGN.md, "Clock & event model").
-type fastForwarder interface {
-	NextEvent() int64
-	FastForward(to int64)
+// eventDriven is the optional event-driven clock interface a core may
+// implement (all five repository models do). NextWake returns the earliest
+// cycle >= Now() at which the core might make progress — an O(1) consult of
+// the model's shared wakeup queue plus its streaming pre-checks, never a
+// scheduler scan. FastForward runs one real Cycle() and, if it proved idle,
+// jumps the clock toward `to` with exact batched accounting, returning
+// false when the cycle changed state and stands as a normal cycle.
+// WakeStats exposes the wakeup queue's activity counters for the run
+// manifest, and ProgressSignature folds the model's progress counters into
+// one value — the driver consults the queue only after a cycle whose
+// signature did not move, which is what makes jump attempts almost never
+// bail (see DESIGN.md, "Clock & event model").
+type eventDriven interface {
+	NextWake() int64
+	FastForward(to int64) bool
+	WakeStats() eventq.Stats
+	ProgressSignature() uint64
 }
 
 // simulatedCycles accumulates the total simulated cycles (including
@@ -200,9 +215,9 @@ func Run(s Spec) (Result, error) {
 	if snapped {
 		dyn0 = acct.DynamicEnergy()
 	}
-	ff, _ := c.(fastForwarder)
-	if s.DisableFastForward || os.Getenv("CASINO_NO_FASTFORWARD") != "" {
-		ff = nil
+	ev, _ := c.(eventDriven)
+	if s.DisableFastForward || noFFEnv {
+		ev = nil
 	}
 	if s.TraceSink != nil {
 		pt, ok := c.(pipeTracer)
@@ -210,10 +225,12 @@ func Run(s Spec) (Result, error) {
 			return Result{}, fmt.Errorf("sim: model %q does not support pipeline tracing", s.Model)
 		}
 		pt.SetPipeTrace(ptrace.NewRecorder(s.TraceSink, s.TraceWindow))
-		ff = nil // trace every cycle; FF would elide the idle ones
+		ev = nil // trace every cycle; the event engine would elide the idle ones
 	}
 	var ffJumps, ffSkipped uint64
-	lastCommitted := ^uint64(0) // != Committed(): never probe before the first cycle
+	var lastSig uint64
+	sigValid := false
+	lastCommitted := ^uint64(0) // != Committed(): never consult before the first cycle
 	const cycleCap = 400_000_000
 	for c.Now() < cycleCap && !c.Done() && c.Committed() < target {
 		if !snapped && c.Committed() >= warm {
@@ -221,23 +238,39 @@ func Run(s Spec) (Result, error) {
 			dyn0 = acct.DynamicEnergy()
 			snapped = true
 		}
-		// Only probe for a jump when the previous cycle retired nothing —
-		// while commits flow, per-cycle stepping is the common case and the
-		// probe would be pure overhead.
-		if ff != nil && c.Committed() == lastCommitted {
-			if to := ff.NextEvent(); to > c.Now()+1 {
+		// Only consult the wakeup queue after a cycle whose progress
+		// signature did not move — while work flows, per-cycle stepping is
+		// the common case and even an O(1) consult would be pure overhead.
+		// The gate is two-level: the commit counter (one load) filters the
+		// busy stretches, and the full signature is computed only across
+		// commit-free cycles. After a fully idle cycle, every state change
+		// the next cycles could make is announced on the queue (or caught by
+		// NextWake's streaming pre-checks), so when the next wake lies
+		// beyond the next cycle, FastForward runs that one cycle itself and
+		// jumps across the proven-idle gap — the loop must not also step it.
+		if ev != nil {
+			if c.Committed() != lastCommitted {
+				lastCommitted = c.Committed()
+				sigValid = false
+			} else if sig := ev.ProgressSignature(); !sigValid || sig != lastSig {
+				lastSig, sigValid = sig, true
+			} else if to := ev.NextWake(); to > c.Now()+1 {
 				if to > cycleCap {
 					to = cycleCap
 				}
-				if to > c.Now()+1 {
-					ffSkipped += uint64(to - c.Now() - 1)
-					ffJumps++
-					ff.FastForward(to)
-					continue
+				// On a bail the embedded cycle changed the signature;
+				// lastSig keeps its pre-cycle value, so the next iteration's
+				// comparison fails once and steps normally.
+				before := c.Now()
+				if ev.FastForward(to) {
+					if skipped := uint64(c.Now() - before - 1); skipped > 0 {
+						ffJumps++
+						ffSkipped += skipped
+					}
 				}
+				continue
 			}
 		}
-		lastCommitted = c.Committed()
 		c.Cycle()
 	}
 	if !snapped {
@@ -266,6 +299,13 @@ func Run(s Spec) (Result, error) {
 	reg.Counter("ff.jumps", ffJumps)
 	reg.Counter("ff.skipped_cycles", ffSkipped)
 	reg.SetRatio("ff.coverage", float64(ffSkipped), float64(c.Now()))
+	if ev != nil {
+		es := ev.WakeStats()
+		reg.Counter("evq.wakeups", es.Wakeups)
+		reg.Counter("evq.coalesced", es.Coalesced)
+		reg.Counter("evq.batched_cycles", ffSkipped)
+		reg.Counter("evq.heap_max", uint64(es.HeapMax))
+	}
 	res := Result{
 		Model:        s.Model,
 		Workload:     tr.Name,

@@ -1,11 +1,71 @@
 package slice
 
 import (
+	"casino/internal/eventq"
 	"casino/internal/isa"
 )
 
 // noEvent mirrors lsu.NoEvent: no progress through the passage of time.
 const noEvent = int64(1) << 62
+
+// NextWake returns the earliest cycle >= now at which the core might make
+// progress, driving the event-driven clock. The pre-check mirrors the
+// dispatch steering read-only (Freeway's Y-IQ decision included) plus fetch;
+// every timed event — producer completions that unblock a queue head or
+// re-steer a dispatch, FU busy-until slots, SB retirement, stall expiries —
+// was registered on the shared queue when its time was stored.
+func (c *Core) NextWake() int64 {
+	now := c.now
+	if op := c.fe.Peek(0); op != nil && c.window.len() < c.window.cap() {
+		target := &c.aq
+		if op.Class.IsMem() || c.ist[op.PC] {
+			target = &c.bq
+			if c.cfg.Kind == Freeway {
+				var p1, p2 *entry
+				if op.Src1.Valid() {
+					p1 = c.lastWriter[op.Src1]
+				}
+				if op.Src2.Valid() {
+					p2 = c.lastWriter[op.Src2]
+				}
+				if c.dependsOnInFlightSliceLoad(p1, p2) {
+					target = &c.yq
+				}
+			}
+		}
+		if target.len() < target.cap() {
+			return now
+		}
+	}
+	if c.fe.NextFetchEvent(now) <= now {
+		return now
+	}
+	return c.wq.Horizon(now)
+}
+
+// WakeStats exposes the shared wakeup queue's activity counters.
+func (c *Core) WakeStats() eventq.Stats { return c.wq.Stats() }
+
+// ProgressSignature folds the fast-forward progress signature into one
+// value for the sim package's property tests.
+func (c *Core) ProgressSignature() uint64 {
+	// FNV-1a chained by hand: this runs on every commit-free cycle, so it
+	// must not materialize an array (stack copies) per call.
+	const p = 1099511628211
+	s := c.ffSig()
+	h := uint64(1469598103934665603)
+	h = (h ^ s.committed) * p
+	h = (h ^ s.fetched) * p
+	h = (h ^ s.issued) * p
+	h = (h ^ s.l1) * p
+	h = (h ^ uint64(s.window)) * p
+	h = (h ^ uint64(s.aq)) * p
+	h = (h ^ uint64(s.bq)) * p
+	h = (h ^ uint64(s.yq)) * p
+	h = (h ^ uint64(s.sb)) * p
+	h = (h ^ uint64(s.buf)) * p
+	return h
+}
 
 // NextEvent returns the earliest cycle >= now at which Cycle() could change
 // observable state. The slice queues issue head-in-order, so only each
@@ -165,26 +225,29 @@ func (c *Core) ffSig() ffSig {
 	}
 }
 
-// FastForward advances the clock to cycle `to` across cycles NextEvent()
-// proved idle: one embedded real Cycle() supplies the exact idle-cycle
-// accounting (including the per-queue scoreboard reads and the IST read a
-// dispatch-blocked cycle charges), and its deltas are replayed in bulk for
-// the remaining skipped cycles. Panics if the embedded cycle made progress.
-func (c *Core) FastForward(to int64) {
-	n := to - c.now - 1
-	if n < 0 {
-		return
-	}
+// FastForward runs one real Cycle() and, if that cycle turned out idle,
+// jumps the clock toward `to`: the embedded cycle supplies the exact
+// idle-cycle accounting (including the per-queue scoreboard reads and the
+// IST read a dispatch-blocked cycle charges), and its deltas are replayed
+// in bulk for the skipped cycles. Returns false when the embedded cycle
+// changed observable state — it stands as a normal cycle and nothing was
+// skipped. The jump target is re-clamped by the queue's post-cycle horizon,
+// which sees any wakeup the embedded cycle itself registered.
+func (c *Core) FastForward(to int64) bool {
 	sig := c.ffSig()
 	c.acct.BeginDelta()
 	sbReads0 := c.sb.Reads
 	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
-		panic("slice: FastForward across a non-idle cycle (NextEvent bug)")
+		return false
 	}
-	if n == 0 {
-		return
+	if h := c.wq.Horizon(c.now); h < to {
+		to = h
+	}
+	n := to - c.now
+	if n <= 0 {
+		return true
 	}
 	un := uint64(n)
 	c.acct.ScaleDelta(un)
@@ -198,4 +261,5 @@ func (c *Core) FastForward(to int64) {
 	c.OccWindow.AddN(c.window.len(), un)
 	c.OccSB.AddN(c.sb.Len(), un)
 	c.now += n
+	return true
 }

@@ -15,6 +15,7 @@ package slice
 import (
 	"casino/internal/bpred"
 	"casino/internal/energy"
+	"casino/internal/eventq"
 	"casino/internal/frontend"
 	"casino/internal/isa"
 	"casino/internal/lsu"
@@ -102,6 +103,7 @@ type Core struct {
 	fus  *pipeline.FUPool
 	acct *energy.Accountant
 	sb   *lsu.StoreQueue
+	wq   *eventq.Queue // shared wakeup queue (event-driven clock)
 
 	aq, bq, yq entRing
 	window     entRing // program-ordered in-flight window (commit from head)
@@ -159,9 +161,14 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	}
 	c.OccWindow = stats.NewHist(cfg.WindowSize + 1)
 	c.OccSB = stats.NewHist(cfg.SBSize + 1)
+	c.wq = eventq.New(2*(cfg.WindowSize+cfg.SBSize) + 16)
+	c.fus.SetWakeQueue(c.wq)
+	c.sb.SetWakeQueue(c.wq)
+	hier.SetWakeQueue(c.wq)
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
 		tr.Reader(), bpred.NewPredictor(), hier, acct)
+	c.fe.SetWakeQueue(c.wq)
 	c.hAQ = acct.Register(energy.Structure{Name: "A-IQ", Entries: cfg.AQSize, Bits: 64, Ports: 2 * cfg.Width})
 	c.hBQ = acct.Register(energy.Structure{Name: "B-IQ", Entries: cfg.BQSize, Bits: 64, Ports: 2 * cfg.Width})
 	if cfg.Kind == Freeway {
@@ -210,6 +217,7 @@ func (c *Core) recycle(e *entry) { c.free = append(c.free, e) }
 func (c *Core) Cycle() {
 	now := c.now
 	committed0 := c.committed
+	c.wq.Drain(now)
 	c.OccAQ.Add(c.aq.len())
 	c.OccBQ.Add(c.bq.len())
 	if c.OccYQ != nil {
@@ -364,6 +372,11 @@ func (c *Core) execute(e *entry, now int64) {
 		c.fe.BranchResolved(op.Seq, e.done)
 	default:
 		e.done = now + int64(op.Class.ExecLatency())
+	}
+	// A completion next cycle needs no wakeup: this issue already makes the
+	// current cycle non-idle, so no jump can start before the effect lands.
+	if e.done > now+1 {
+		c.wq.Wake(e.done)
 	}
 }
 

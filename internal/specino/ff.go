@@ -1,19 +1,127 @@
 package specino
 
+import "casino/internal/eventq"
+
 // noEvent mirrors lsu.NoEvent: no progress through the passage of time.
 const noEvent = int64(1) << 62
 
+// NextWake returns the earliest cycle >= now at which the core might make
+// progress, driving the event-driven clock. SpecInO is the one model the
+// shared wakeup queue cannot cover alone: its scheduling window slides by SO
+// positions every cycle in which it issues nothing, creating issue
+// opportunities at times stored nowhere. NextWake therefore combines the
+// queue with slideEvent's closed-form window-arrival bound.
+func (c *Core) NextWake() int64 {
+	now := c.now
+	if c.fe.BufLen() > 0 && len(c.iq) < c.cfg.IQSize {
+		return now
+	}
+	if c.fe.NextFetchEvent(now) <= now {
+		return now
+	}
+	next := c.wq.Horizon(now)
+	if t := c.slideEvent(now); t < next {
+		next = t
+	}
+	return next
+}
+
+// WakeStats exposes the shared wakeup queue's activity counters.
+func (c *Core) WakeStats() eventq.Stats { return c.wq.Stats() }
+
+// ProgressSignature folds the fast-forward progress signature into one
+// value for the sim package's property tests.
+func (c *Core) ProgressSignature() uint64 {
+	// FNV-1a chained by hand: this runs on every commit-free cycle, so it
+	// must not materialize an array (stack copies) per call.
+	const p = 1099511628211
+	s := c.ffSig()
+	h := uint64(1469598103934665603)
+	h = (h ^ s.committed) * p
+	h = (h ^ s.fetched) * p
+	h = (h ^ s.issued) * p
+	h = (h ^ s.l1) * p
+	h = (h ^ uint64(s.iq)) * p
+	h = (h ^ uint64(s.buf)) * p
+	return h
+}
+
+// slideEvent returns the earliest cycle >= now at which the sliding window
+// could enable an issue, assuming every cycle from now on is idle (each one
+// advancing the window start by SO). Position j is examined at cycle now+k
+// when effW+k*SO <= j <= effW+k*SO+WS-1, with effW = max(winPos, i0+1)
+// mirroring issue()'s head bump. For each candidate entry the arrival k is
+// the later of the window reaching j (kMin) and its operands completing
+// (kReady); if the window slides past j first (k > kMax) the entry can only
+// issue from the in-order head engine later, which queue events cover.
+func (c *Core) slideEvent(now int64) int64 {
+	next := noEvent
+	add := func(t int64) {
+		if t > now && t < next {
+			next = t
+		}
+	}
+	i0 := -1
+	for i, e := range c.iq {
+		if !e.issued {
+			i0 = i
+			break
+		}
+	}
+	if i0 < 0 {
+		return noEvent
+	}
+	effW := c.winPos
+	if effW < i0+1 {
+		effW = i0 + 1
+	}
+	ws, so := c.cfg.WS, c.cfg.SO
+	for j := effW; j < len(c.iq); j++ {
+		e := c.iq[j]
+		if e.issued || (c.cfg.NonMemOnly && e.op.Class.IsMem()) {
+			continue
+		}
+		r, ok := c.readyAt(e)
+		if !ok {
+			continue // blocked on an unissued producer
+		}
+		var kMin int64
+		if d := j - (effW + ws - 1); d > 0 {
+			kMin = (int64(d) + int64(so) - 1) / int64(so)
+		}
+		kMax := int64(j-effW) / int64(so)
+		kReady := int64(0)
+		if r > now {
+			kReady = r - now
+		}
+		k := kMin
+		if kReady > k {
+			k = kReady
+		}
+		if k > kMax {
+			continue // window slides past j before it becomes ready
+		}
+		if k == 0 {
+			if c.fus.CanIssue(e.op.Class, now) {
+				return now
+			}
+			add(c.fus.NextFree(e.op.Class, now))
+			continue
+		}
+		add(now + k)
+	}
+	return next
+}
+
 // NextEvent returns the earliest cycle >= now at which Cycle() could change
-// observable state. SpecInO needs the most careful probe of the five
-// models: its scheduling window *slides* by SO positions every cycle in
-// which it issues nothing, so during a stretch of idle cycles the set of
-// examined IQ positions moves deterministically. For an entry at position j
-// the probe therefore computes both when its operands complete (r) and the
-// first cycle the sliding window reaches j (now+kMin), and uses the later
-// of the two; if the window slides past j before its operands are ready,
-// the entry can only issue from the in-order head engine later, which other
-// events cover. The slide itself carries no accounting, so it is not an
-// event — FastForward replays it in closed form instead.
+// observable state. It is retained as the exhaustive oracle for the sim
+// package's property tests; the event-driven driver uses NextWake instead.
+// SpecInO needs the most careful probe of the five models: its scheduling
+// window *slides* by SO positions every cycle in which it issues nothing, so
+// during a stretch of idle cycles the set of examined IQ positions moves
+// deterministically (see slideEvent). The slide itself carries no
+// accounting, so it is not an event — FastForward replays it in closed form
+// instead.
 func (c *Core) NextEvent() int64 {
 	now := c.now
 	next := noEvent
@@ -55,49 +163,11 @@ func (c *Core) NextEvent() int64 {
 		// Blocked on an unissued producer: that issue is the prior event.
 	}
 
-	// Sliding window. Position j is examined at cycle now+k when
-	// effW+k*SO <= j <= effW+k*SO+WS-1 (the window start advances by SO per
-	// idle cycle from effW = max(winPos, i0+1)).
-	if i0 >= 0 {
-		effW := c.winPos
-		if effW < i0+1 {
-			effW = i0 + 1
-		}
-		ws, so := c.cfg.WS, c.cfg.SO
-		for j := effW; j < len(c.iq); j++ {
-			e := c.iq[j]
-			if e.issued || (c.cfg.NonMemOnly && e.op.Class.IsMem()) {
-				continue
-			}
-			r, ok := c.readyAt(e)
-			if !ok {
-				continue // blocked on an unissued producer
-			}
-			var kMin int64
-			if d := j - (effW + ws - 1); d > 0 {
-				kMin = (int64(d) + int64(so) - 1) / int64(so)
-			}
-			kMax := int64(j-effW) / int64(so)
-			kReady := int64(0)
-			if r > now {
-				kReady = r - now
-			}
-			k := kMin
-			if kReady > k {
-				k = kReady
-			}
-			if k > kMax {
-				continue // window slides past j before it becomes ready
-			}
-			if k == 0 {
-				if c.fus.CanIssue(e.op.Class, now) {
-					return now
-				}
-				add(c.fus.NextFree(e.op.Class, now))
-				continue
-			}
-			add(now + k)
-		}
+	// Sliding window arrivals.
+	if t := c.slideEvent(now); t <= now {
+		return now
+	} else {
+		add(t)
 	}
 
 	// Dispatch and fetch.
@@ -151,25 +221,32 @@ func (c *Core) ffSig() ffSig {
 	}
 }
 
-// FastForward advances the clock to cycle `to` across cycles NextEvent()
-// proved idle. One embedded real Cycle() performs the idle accounting
-// (Cycles) and one window slide; the remaining n skipped cycles each slide
-// the window by a further SO, which the closed form below replays, capped
-// at the IQ length exactly as issue() caps it.
-func (c *Core) FastForward(to int64) {
-	n := to - c.now - 1
-	if n < 0 {
-		return
-	}
+// FastForward runs one real Cycle() and, if that cycle turned out idle,
+// jumps the clock toward `to`: the embedded cycle supplies the exact
+// idle-cycle accounting and performs one window slide; the n skipped cycles
+// each slide the window by a further SO, which the closed form below
+// replays, capped at the IQ length exactly as issue() caps it. Returns
+// false when the embedded cycle changed observable state — it stands as a
+// normal cycle and nothing was skipped. The jump target is re-clamped by
+// the queue's post-cycle horizon *and* by slideEvent, because the sliding
+// window manufactures issue opportunities the queue never saw.
+func (c *Core) FastForward(to int64) bool {
 	sig := c.ffSig()
 	c.acct.BeginDelta()
 	cpi0 := c.cpi
 	c.Cycle()
 	if c.ffSig() != sig {
-		panic("specino: FastForward across a non-idle cycle (NextEvent bug)")
+		return false
 	}
-	if n == 0 {
-		return
+	if h := c.wq.Horizon(c.now); h < to {
+		to = h
+	}
+	if t := c.slideEvent(c.now); t < to {
+		to = t
+	}
+	n := to - c.now
+	if n <= 0 {
+		return true
 	}
 	c.acct.ScaleDelta(uint64(n))
 	c.cpi.ScaleDelta(&cpi0, uint64(n))
@@ -182,6 +259,7 @@ func (c *Core) FastForward(to int64) {
 		c.winPos = w
 	}
 	c.now += n
+	return true
 }
 
 func min64(a, b int64) int64 {

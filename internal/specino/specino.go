@@ -10,6 +10,7 @@ package specino
 import (
 	"casino/internal/bpred"
 	"casino/internal/energy"
+	"casino/internal/eventq"
 	"casino/internal/frontend"
 	"casino/internal/isa"
 	"casino/internal/mem"
@@ -50,6 +51,7 @@ type Core struct {
 	hier *mem.Hierarchy
 	fus  *pipeline.FUPool
 	acct *energy.Accountant
+	wq   *eventq.Queue // shared wakeup queue (event-driven clock)
 
 	iq         []*entry // program-ordered window; commit from head
 	winPos     int      // window offset into iq
@@ -77,9 +79,13 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 		panic("specino: WS and SO must be positive")
 	}
 	c := &Core{cfg: cfg, hier: hier, fus: pipeline.ScaledFUPool(cfg.Width), acct: acct}
+	c.wq = eventq.New(2*cfg.IQSize + 16)
+	c.fus.SetWakeQueue(c.wq)
+	hier.SetWakeQueue(c.wq)
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
 		tr.Reader(), bpred.NewPredictor(), hier, acct)
+	c.fe.SetWakeQueue(c.wq)
 	return c
 }
 
@@ -129,6 +135,7 @@ func (c *Core) olderWaiting(idx int) bool {
 func (c *Core) Cycle() {
 	now := c.now
 	committed0 := c.committed
+	c.wq.Drain(now)
 	c.commit(now)
 	c.issue(now)
 	c.dispatch()
@@ -280,6 +287,11 @@ func (c *Core) execute(e *entry, now int64) {
 		c.fe.BranchResolved(op.Seq, e.done)
 	default:
 		e.done = now + int64(op.Class.ExecLatency())
+	}
+	// A completion next cycle needs no wakeup: this issue already makes the
+	// current cycle non-idle, so no jump can start before the effect lands.
+	if e.done > now+1 {
+		c.wq.Wake(e.done)
 	}
 }
 
