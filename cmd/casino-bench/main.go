@@ -9,9 +9,14 @@
 //	casino-bench -fig 8 -apps mcf,milc   # a subset of applications
 //	casino-bench -fig all -json run.json # versioned run manifest
 //	casino-bench compare golden/fig_all.json run.json
+//	casino-bench sweep -grid grid.json -json out.json -workers 1
+//	casino-bench submit -server http://localhost:8573 -grid grid.json -out merged.json
 //
 // compare exits non-zero when any metric drifts outside its tolerance
-// band, printing one line per offending metric.
+// band, printing one line per offending metric. sweep runs a DSE grid
+// locally (serial by default); submit posts the same grid to a running
+// casino-server, polls to completion, and downloads the merged manifest —
+// the two must produce byte-identical manifests for the same grid.
 package main
 
 import (
@@ -31,8 +36,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		os.Exit(runCompare(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "compare":
+			os.Exit(runCompare(os.Args[2:]))
+		case "sweep":
+			os.Exit(runSweep(os.Args[2:]))
+		case "submit":
+			os.Exit(runSubmit(os.Args[2:]))
+		}
 	}
 
 	var (

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"casino/internal/dse"
+	"casino/internal/manifest"
+)
+
+// runSweep executes a sweep grid locally ("sweep" subcommand): the exact
+// cells a casino-server job shards, run on an in-process pool (-workers 1
+// is strictly serial). It is the gating reference: the written manifest
+// must be byte-identical to the service's for the same grid.
+func runSweep(args []string) int {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var (
+		gridPath  = fs.String("grid", "", "sweep grid JSON file (required)")
+		jsonOut   = fs.String("json", "", "write the merged sweep manifest to this file (required)")
+		workers   = fs.Int("workers", 1, "worker pool size (1 = strictly serial, 0 = all CPUs)")
+		paretoOut = fs.String("pareto", "", "also write the per-workload Pareto frontiers as JSON to this file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: casino-bench sweep -grid grid.json -json out.json [-workers N] [-pareto pareto.json]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *gridPath == "" || *jsonOut == "" {
+		fs.Usage()
+		return 2
+	}
+	g, err := dse.ReadGridFile(*gridPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casino-bench sweep: %v\n", err)
+		return 2
+	}
+	start := time.Now()
+	m, points, err := dse.RunGrid(g, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casino-bench sweep: %v\n", err)
+		return 1
+	}
+	if err := m.WriteFile(*jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "casino-bench sweep: %v\n", err)
+		return 1
+	}
+	fmt.Printf("sweep: %d cells (%d workers, %.1fs), wrote %s\n",
+		len(m.Cells), *workers, time.Since(start).Seconds(), *jsonOut)
+	if *paretoOut != "" {
+		if err := writePareto(*paretoOut, dse.FrontierByWorkload(points)); err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench sweep: %v\n", err)
+			return 1
+		}
+		fmt.Printf("sweep: wrote Pareto frontiers to %s\n", *paretoOut)
+	}
+	return 0
+}
+
+func writePareto(path string, frontiers map[string][]dse.Point) error {
+	b, err := json.MarshalIndent(map[string]interface{}{"workloads": frontiers}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// runSubmit posts a sweep grid to a running casino-server, polls the job
+// to completion, and downloads the merged manifest ("submit" subcommand).
+func runSubmit(args []string) int {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		server    = fs.String("server", "http://127.0.0.1:8573", "casino-server base URL")
+		gridPath  = fs.String("grid", "", "sweep grid JSON file (required)")
+		out       = fs.String("out", "", "write the merged sweep manifest to this file")
+		paretoOut = fs.String("pareto", "", "write the per-workload Pareto frontiers to this file")
+		poll      = fs.Duration("poll", 250*time.Millisecond, "progress polling interval")
+		timeout   = fs.Duration("timeout", 15*time.Minute, "overall deadline")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: casino-bench submit -server URL -grid grid.json [-out merged.json] [-pareto pareto.json]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *gridPath == "" {
+		fs.Usage()
+		return 2
+	}
+	gridBytes, err := os.ReadFile(*gridPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casino-bench submit: %v\n", err)
+		return 2
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(*server+"/v1/sweeps", "application/json", bytes.NewReader(gridBytes))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casino-bench submit: %v\n", err)
+		return 1
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		fmt.Fprintf(os.Stderr, "casino-bench submit: server rejected sweep (%s): %s\n", resp.Status, body)
+		return 1
+	}
+	var sub dse.SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		fmt.Fprintf(os.Stderr, "casino-bench submit: bad submit response: %v\n", err)
+		return 1
+	}
+	fmt.Printf("submitted sweep %s (%d cells) to %s\n", sub.ID, sub.Cells, *server)
+
+	statusURL := *server + sub.StatusURL
+	deadline := time.Now().Add(*timeout)
+	var st dse.Status
+	lastDone := -1
+	for {
+		if err := getJSON(client, statusURL, &st); err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench submit: poll: %v\n", err)
+			return 1
+		}
+		if st.State == dse.StateDone || st.State == dse.StateFailed {
+			break
+		}
+		if st.CellsDone != lastDone {
+			lastDone = st.CellsDone
+			fmt.Printf("sweep %s: %s, %d/%d cells, %d cache hits\n",
+				st.ID, st.State, st.CellsDone, st.CellsTotal, st.CacheHits)
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "casino-bench submit: timed out after %v (%d/%d cells)\n",
+				*timeout, st.CellsDone, st.CellsTotal)
+			return 1
+		}
+		time.Sleep(*poll)
+	}
+	if st.State == dse.StateFailed {
+		fmt.Fprintf(os.Stderr, "casino-bench submit: sweep %s failed:\n", st.ID)
+		for _, e := range st.Errors {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+		return 1
+	}
+	fmt.Printf("sweep %s: done, %d/%d cells, %d cache hits\n", st.ID, st.CellsDone, st.CellsTotal, st.CacheHits)
+
+	if *out != "" {
+		mresp, err := client.Get(statusURL + "/manifest")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench submit: manifest: %v\n", err)
+			return 1
+		}
+		m, err := manifest.Decode(mresp.Body)
+		mresp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench submit: manifest: %v\n", err)
+			return 1
+		}
+		if err := m.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench submit: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote merged manifest (%d cells, %d metrics) to %s\n", len(m.Cells), len(m.Metrics), *out)
+	}
+	if *paretoOut != "" {
+		presp, err := client.Get(statusURL + "/pareto")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench submit: pareto: %v\n", err)
+			return 1
+		}
+		pbody, _ := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "casino-bench submit: pareto: %s: %s\n", presp.Status, pbody)
+			return 1
+		}
+		if err := os.WriteFile(*paretoOut, pbody, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench submit: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote Pareto frontiers to %s\n", *paretoOut)
+	}
+	return 0
+}
+
+func getJSON(client *http.Client, url string, v interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	return json.Unmarshal(body, v)
+}

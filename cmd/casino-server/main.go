@@ -1,0 +1,97 @@
+// Command casino-server is the design-space-exploration sweep service: a
+// long-running HTTP server with a job queue that expands parameter grids
+// into simulation cells, shards them across a bounded worker pool sized
+// to the machine, caches results by spec+trace fingerprint so overlapping
+// sweeps never simulate the same design point twice, and serves merged
+// run manifests (compare-able against goldens) and IPC × energy Pareto
+// frontiers.
+//
+// Usage:
+//
+//	casino-server -addr :8573
+//	casino-bench submit -server http://localhost:8573 -grid grid.json -out merged.json
+//
+// Endpoints:
+//
+//	POST /v1/sweeps               submit a sweep grid (JSON), returns the job id
+//	GET  /v1/sweeps/{id}          progress: cells done/total, cache hits
+//	GET  /v1/sweeps/{id}/manifest merged manifest (409 until the sweep completes)
+//	GET  /v1/sweeps/{id}/pareto   per-workload Pareto frontiers
+//	GET  /healthz                 liveness
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
+// accepting, every already accepted sweep drains to completion, then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"casino/internal/dse"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8573", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = runtime.NumCPU())")
+		cacheSize = flag.Int("cache", 0, "result cache capacity in cells (0 = default)")
+		drainWait = flag.Duration("drain-timeout", 10*time.Minute, "max time to wait for in-flight sweeps on shutdown")
+	)
+	flag.Parse()
+
+	engine := dse.NewEngine(*workers, *cacheSize)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           dse.NewServer(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	n := *workers
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	fmt.Printf("casino-server: listening on %s (%d workers)\n", *addr, n)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "casino-server: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("casino-server: %v, draining in-flight sweeps\n", s)
+	}
+
+	// Stop the listener first so no new sweeps land, then drain the
+	// engine: accepted jobs run their cells to completion.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "casino-server: shutdown: %v\n", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		engine.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		fmt.Println("casino-server: drained, bye")
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "casino-server: drain timeout exceeded, exiting with work pending")
+		os.Exit(1)
+	}
+}

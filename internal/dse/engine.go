@@ -1,0 +1,265 @@
+package dse
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"casino/internal/manifest"
+	"casino/internal/sim"
+)
+
+// Overload errors: the submission was well-formed but the engine cannot
+// accept it right now. The HTTP layer maps these to 503.
+var (
+	ErrShuttingDown = errors.New("engine is shutting down")
+	ErrQueueFull    = errors.New("job queue full")
+)
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is one accepted sweep: its expanded cells, live progress counters,
+// and — once complete — the merged manifest and Pareto points.
+type Job struct {
+	ID    string
+	Grid  Grid
+	Cells []Cell
+
+	mu       sync.Mutex
+	state    string
+	done     int
+	hits     int
+	errs     []string
+	manifest *manifest.Manifest
+	points   []Point
+}
+
+// Status is a point-in-time snapshot of a job, shaped for the HTTP API.
+type Status struct {
+	ID         string   `json:"id"`
+	State      string   `json:"state"`
+	CellsTotal int      `json:"cells_total"`
+	CellsDone  int      `json:"cells_done"`
+	CacheHits  int      `json:"cache_hits"`
+	Errors     []string `json:"errors,omitempty"`
+}
+
+// Snapshot returns the job's current status.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:         j.ID,
+		State:      j.state,
+		CellsTotal: len(j.Cells),
+		CellsDone:  j.done,
+		CacheHits:  j.hits,
+		Errors:     append([]string(nil), j.errs...),
+	}
+}
+
+// Manifest returns the merged sweep manifest, or false while the job has
+// not completed successfully.
+func (j *Job) Manifest() (*manifest.Manifest, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.manifest, j.state == StateDone && j.manifest != nil
+}
+
+// Points returns every completed design point (for the Pareto reducer),
+// or false while the job has not completed successfully.
+func (j *Job) Points() ([]Point, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return append([]Point(nil), j.points...), true
+}
+
+// Engine is the sweep executor: a FIFO job queue drained by one
+// dispatcher that shards each job's cells across a bounded worker pool
+// (sized to runtime.NumCPU() by default) through the fingerprint-keyed
+// result cache. Jobs run one at a time, each using the full pool;
+// submissions during a run queue up behind it.
+type Engine struct {
+	workers int
+	cache   *ResultCache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    int
+	closed bool
+
+	queue   chan *Job
+	drained chan struct{}
+}
+
+// NewEngine starts an engine with the given pool width (<= 0 means
+// runtime.NumCPU()) and result-cache capacity (<= 0 means
+// DefaultResultCacheSize). Callers own the engine's lifecycle and must
+// Close it to drain.
+func NewEngine(workers, cacheSize int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := &Engine{
+		workers: workers,
+		cache:   NewResultCache(cacheSize),
+		jobs:    map[string]*Job{},
+		queue:   make(chan *Job, 256),
+		drained: make(chan struct{}),
+	}
+	go func() {
+		defer close(e.drained)
+		for job := range e.queue {
+			e.runJob(job)
+		}
+	}()
+	return e
+}
+
+// Submit validates and expands the grid, enqueues the job, and returns it
+// immediately. The returned job's snapshots track execution.
+func (e *Engine) Submit(g Grid) (*Job, error) {
+	cells, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("dse: %w", ErrShuttingDown)
+	}
+	e.seq++
+	job := &Job{
+		ID:    fmt.Sprintf("sweep-%04d", e.seq),
+		Grid:  g.normalized(),
+		Cells: cells,
+		state: StateQueued,
+	}
+	e.jobs[job.ID] = job
+	select {
+	case e.queue <- job:
+	default:
+		delete(e.jobs, job.ID)
+		e.mu.Unlock()
+		return nil, fmt.Errorf("dse: %w (%d pending)", ErrQueueFull, cap(e.queue))
+	}
+	e.mu.Unlock()
+	return job, nil
+}
+
+// Job returns the job with the given id.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// CacheStats exposes the result cache's counters.
+func (e *Engine) CacheStats() (entries int, hits, misses uint64) {
+	return e.cache.Stats()
+}
+
+// Close drains the engine: no new submissions are accepted, every already
+// accepted job runs to completion (in-flight cells are never abandoned),
+// and Close returns once the queue is empty. Safe to call once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.drained
+		return
+	}
+	e.closed = true
+	close(e.queue)
+	e.mu.Unlock()
+	<-e.drained
+}
+
+// runJob executes one job's cells on the worker pool.
+func (e *Engine) runJob(job *Job) {
+	job.mu.Lock()
+	job.state = StateRunning
+	job.mu.Unlock()
+
+	fail := func(format string, args ...interface{}) {
+		job.mu.Lock()
+		job.state = StateFailed
+		job.errs = append(job.errs, fmt.Sprintf(format, args...))
+		job.mu.Unlock()
+	}
+
+	// Resolve every workload trace once up front (through the process-wide
+	// singleflight trace cache) — the fingerprints key the result cache
+	// and the manifest provenance.
+	traceFPs := map[string]uint64{}
+	n := job.Grid.Warmup + job.Grid.Ops
+	for _, w := range job.Grid.sortedWorkloads() {
+		tr, err := sim.SharedTrace(w, n, job.Grid.Seed)
+		if err != nil {
+			fail("workload %s: %v", w, err)
+			return
+		}
+		traceFPs[w] = tr.Fingerprint()
+	}
+
+	simCells := make([]sim.Cell, len(job.Cells))
+	for i, c := range job.Cells {
+		spec, err := c.Spec()
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		simCells[i] = sim.Cell{App: c.Workload, Model: c.Model, Index: i, Spec: spec}
+	}
+
+	runFn := func(sc sim.Cell) (sim.Result, error) {
+		c := job.Cells[sc.Index]
+		res, hit, err := e.cache.Do(c.CacheKey(traceFPs[c.Workload]), func() (sim.Result, error) {
+			return sim.Run(sc.Spec)
+		})
+		if hit {
+			job.mu.Lock()
+			job.hits++
+			job.mu.Unlock()
+		}
+		return res, err
+	}
+	onCell := func(sim.CellResult) {
+		job.mu.Lock()
+		job.done++
+		job.mu.Unlock()
+	}
+	cellResults := sim.RunCells(simCells, e.workers, runFn, onCell)
+
+	if err := sim.JoinCellErrors(cellResults); err != nil {
+		fail("%v", err)
+		return
+	}
+	results := make([]sim.Result, len(cellResults))
+	points := make([]Point, len(cellResults))
+	for i, r := range cellResults {
+		results[i] = r.Result
+		points[i] = pointOf(job.Cells[i], r.Result)
+	}
+	m, err := MergeCells(job.Cells, results, traceFPs)
+	if err != nil {
+		fail("merge: %v", err)
+		return
+	}
+	job.mu.Lock()
+	job.manifest = m
+	job.points = points
+	job.state = StateDone
+	job.mu.Unlock()
+}

@@ -1,0 +1,255 @@
+package dse
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"casino/internal/manifest"
+	"casino/internal/sim"
+)
+
+// Small run window: engine tests care about orchestration, not IPC.
+func testGrid(models []string, geoms [][2]int, apps ...string) Grid {
+	return Grid{
+		Models:     models,
+		Workloads:  apps,
+		Ops:        1500,
+		Warmup:     300,
+		Seed:       1,
+		Geometries: geoms,
+	}
+}
+
+func waitJob(t *testing.T, j *Job) Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st := j.Snapshot()
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish: %+v", j.ID, j.Snapshot())
+	return Status{}
+}
+
+func encodeManifest(t *testing.T, m *manifest.Manifest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The tentpole determinism property: a sweep sharded across workers must
+// produce a manifest byte-identical to a strictly serial run of the same
+// cells.
+func TestShardedMatchesSerial(t *testing.T) {
+	g := testGrid([]string{"ino", "casino"}, [][2]int{{2, 1}, {4, 2}}, "mcf")
+
+	e := NewEngine(4, 0)
+	defer e.Close()
+	job, err := e.Submit(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, job)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %+v", st)
+	}
+	if st.CellsDone != st.CellsTotal || st.CellsTotal != 3 {
+		t.Fatalf("progress wrong: %+v", st)
+	}
+	sharded, ok := job.Manifest()
+	if !ok {
+		t.Fatal("no manifest on done job")
+	}
+
+	serial, _, err := RunGrid(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := manifest.Compare(serial, sharded, manifest.CompareOptions{
+		Default: manifest.Tolerance{Rel: 0, Abs: 1e-300},
+	}); len(diffs) != 0 {
+		t.Errorf("sharded vs serial drift: %v", diffs)
+	}
+	if !bytes.Equal(encodeManifest(t, serial), encodeManifest(t, sharded)) {
+		t.Error("sharded and serial manifests are not byte-identical")
+	}
+}
+
+// Satellite: two overlapping sweeps back-to-back. The second must report
+// cache hits for every shared cell, and its manifest must be bitwise
+// equal to the same grid run cold (cache reuse must not perturb results).
+func TestOverlappingSweepsHitCacheBitIdentical(t *testing.T) {
+	gridA := testGrid([]string{"ino", "casino"}, [][2]int{{2, 1}, {4, 2}}, "mcf")
+	gridB := testGrid([]string{"casino", "specino"}, [][2]int{{2, 1}, {4, 2}}, "mcf")
+	// Shared cells: casino[ws2,so1] and casino[ws4,so2].
+
+	e := NewEngine(4, 0)
+	defer e.Close()
+	jobA, err := e.Submit(gridA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, jobA); st.State != StateDone {
+		t.Fatalf("sweep A failed: %+v", st)
+	}
+	jobB, err := e.Submit(gridB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB := waitJob(t, jobB)
+	if stB.State != StateDone {
+		t.Fatalf("sweep B failed: %+v", stB)
+	}
+	if stB.CacheHits != 2 {
+		t.Errorf("sweep B cache hits = %d, want 2 (the shared casino cells)", stB.CacheHits)
+	}
+	warm, _ := jobB.Manifest()
+
+	cold := NewEngine(4, 0)
+	defer cold.Close()
+	jobCold, err := cold.Submit(gridB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, jobCold); st.State != StateDone || st.CacheHits != 0 {
+		t.Fatalf("cold run wrong: %+v", st)
+	}
+	coldM, _ := jobCold.Manifest()
+	if !bytes.Equal(encodeManifest(t, warm), encodeManifest(t, coldM)) {
+		t.Error("cache-hit manifest differs from cold-run manifest")
+	}
+}
+
+// A resubmission of the identical grid must hit the cache for every cell.
+func TestResubmitAllHits(t *testing.T) {
+	g := testGrid([]string{"ino"}, nil, "mcf", "milc")
+	e := NewEngine(2, 0)
+	defer e.Close()
+	j1, err := e.Submit(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j1); st.State != StateDone || st.CacheHits != 0 {
+		t.Fatalf("first run: %+v", st)
+	}
+	j2, err := e.Submit(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, j2)
+	if st.State != StateDone || st.CacheHits != st.CellsTotal {
+		t.Errorf("resubmit should hit every cell: %+v", st)
+	}
+	_, hits, misses := e.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("cache stats not tracking: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// A failing cell fails the job with a named error but never wedges the
+// engine; the next job still runs. (Unknown models are rejected at
+// Expand, so inject the failure through a cell whose spec is valid but
+// whose model the runner rejects at run time via a doctored cell list.)
+func TestJobFailureIsIsolated(t *testing.T) {
+	e := NewEngine(2, 0)
+	defer e.Close()
+
+	g := testGrid([]string{"ino"}, nil, "mcf")
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells[0].Model = "no-such-model" // valid at submit time, fails in Run
+	job := &Job{ID: "sweep-doctored", Grid: g.normalized(), Cells: cells, state: StateQueued}
+	e.mu.Lock()
+	e.jobs[job.ID] = job
+	e.mu.Unlock()
+	e.queue <- job
+
+	st := waitJob(t, job)
+	if st.State != StateFailed || len(st.Errors) == 0 {
+		t.Fatalf("doctored job should fail: %+v", st)
+	}
+	if _, ok := job.Manifest(); ok {
+		t.Error("failed job must not publish a manifest")
+	}
+
+	ok, err := e.Submit(testGrid([]string{"ino"}, nil, "milc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, ok); st.State != StateDone {
+		t.Errorf("engine wedged after failed job: %+v", st)
+	}
+}
+
+// Close drains: accepted jobs run to completion, later submissions are
+// rejected with ErrShuttingDown.
+func TestCloseDrains(t *testing.T) {
+	e := NewEngine(2, 0)
+	job, err := e.Submit(testGrid([]string{"ino"}, nil, "mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if st := job.Snapshot(); st.State != StateDone {
+		t.Errorf("Close did not drain the accepted job: %+v", st)
+	}
+	if _, err := e.Submit(testGrid([]string{"ino"}, nil, "mcf")); err == nil {
+		t.Error("Submit after Close succeeded")
+	}
+	e.Close() // second Close must be safe
+}
+
+func TestSubmitRejectsBadGrid(t *testing.T) {
+	e := NewEngine(1, 0)
+	defer e.Close()
+	if _, err := e.Submit(Grid{Models: []string{"nope"}, Workloads: []string{"mcf"}}); err == nil {
+		t.Error("bad grid accepted")
+	}
+}
+
+// The result cache's singleflight: concurrent requests for one key run
+// the simulation once; the joiner reports a hit.
+func TestResultCacheSingleflight(t *testing.T) {
+	rc := NewResultCache(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	type out struct {
+		hit bool
+		res sim.Result
+	}
+	first := make(chan out)
+	go func() {
+		res, hit, _ := rc.Do("k", func() (sim.Result, error) {
+			close(started)
+			<-release
+			return sim.Result{Instructions: 7}, nil
+		})
+		first <- out{hit, res}
+	}()
+	<-started
+	second := make(chan out)
+	go func() {
+		res, hit, _ := rc.Do("k", func() (sim.Result, error) {
+			t.Error("second run executed despite in-flight entry")
+			return sim.Result{}, nil
+		})
+		second <- out{hit, res}
+	}()
+	close(release)
+	a, b := <-first, <-second
+	if a.hit || a.res.Instructions != 7 {
+		t.Errorf("first: %+v", a)
+	}
+	if !b.hit || b.res.Instructions != 7 {
+		t.Errorf("joiner: %+v", b)
+	}
+}

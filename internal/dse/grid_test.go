@@ -1,0 +1,126 @@
+package dse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"casino/internal/sim"
+)
+
+func TestExpandDeterministicAndDeduplicated(t *testing.T) {
+	g := Grid{
+		Models:     []string{"casino", "specino", "ino"},
+		Workloads:  []string{"mcf", "milc"},
+		Ops:        20000,
+		Warmup:     5000,
+		Seed:       1,
+		Geometries: [][2]int{{2, 1}, {4, 2}},
+	}
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per workload: casino×2 geometries + specino×2 geometries + ino×1
+	// (no geometry axis) = 5; two workloads = 10.
+	if len(cells) != 10 {
+		t.Fatalf("got %d cells, want 10: %+v", len(cells), cells)
+	}
+	keys := map[string]bool{}
+	for _, c := range cells {
+		if keys[c.Key()] {
+			t.Errorf("duplicate cell %s", c.Key())
+		}
+		keys[c.Key()] = true
+		if c.Ops != 20000 || c.Warmup != 5000 {
+			t.Errorf("cell %s did not inherit run window: %+v", c.Key(), c)
+		}
+	}
+	if !keys["mcf/ino"] {
+		t.Errorf("ino cell should collapse the geometry axis: %v", keys)
+	}
+	if !keys["mcf/casino[ws4,so2]"] || !keys["milc/specino[ws2,so1]"] {
+		t.Errorf("missing expected geometry cells: %v", keys)
+	}
+
+	again, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells, again) {
+		t.Error("expansion is not deterministic")
+	}
+}
+
+func TestExpandDefaultsRunWindow(t *testing.T) {
+	g := Grid{Models: []string{"ino"}, Workloads: []string{"mcf"}}
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Ops != sim.DefaultOps || cells[0].Warmup != sim.DefaultWarmup {
+		t.Errorf("defaults not applied: %+v", cells[0])
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	bad := []Grid{
+		{Workloads: []string{"mcf"}},                                                           // no models
+		{Models: []string{"casino"}},                                                           // no workloads
+		{Models: []string{"nope"}, Workloads: []string{"mcf"}},                                 // unknown model
+		{Models: []string{"casino"}, Workloads: []string{"nope"}},                              // unknown workload
+		{Models: []string{"casino"}, Workloads: []string{"mcf"}, Geometries: [][2]int{{1, 2}}}, // WS < SO
+		{Models: []string{"casino"}, Workloads: []string{"mcf"}, IQSizes: []int{0}},            // non-positive
+		{Models: []string{"casino"}, Workloads: []string{"mcf"}, OSCAWidths: []int{48}},        // not power of two
+	}
+	for i, g := range bad {
+		if _, err := g.Expand(); err == nil {
+			t.Errorf("grid %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestCellSpecAppliesOverrides(t *testing.T) {
+	c := Cell{Workload: "mcf", Model: "casino", WS: 4, SO: 2, IQ: 20, SB: 16, ROB: 64, OSCA: 128,
+		Ops: 20000, Warmup: 5000, Seed: 1}
+	s, err := c.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.CasinoCfg
+	if cfg.WS != 4 || cfg.SO != 2 || cfg.IQSize != 20 || cfg.SQSize != 16 || cfg.ROBSize != 64 || cfg.OSCASize != 128 {
+		t.Errorf("overrides not applied: %+v", cfg)
+	}
+	if got := c.Key(); got != "mcf/casino[ws4,so2,iq20,sb16,rob64,osca128]" {
+		t.Errorf("key = %q", got)
+	}
+}
+
+func TestCacheKeySeparatesSpecAndTrace(t *testing.T) {
+	a := Cell{Workload: "mcf", Model: "casino", WS: 2, SO: 1, Ops: 20000, Warmup: 5000, Seed: 1}
+	b := a
+	b.SO = 2
+	b.WS = 2
+	if a.CacheKey(42) == b.CacheKey(42) {
+		t.Error("different specs share a cache key")
+	}
+	if a.CacheKey(42) == a.CacheKey(43) {
+		t.Error("different traces share a cache key")
+	}
+	if a.CacheKey(42) != a.CacheKey(42) {
+		t.Error("cache key not stable")
+	}
+}
+
+func TestReadGridRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadGrid(strings.NewReader(`{"models":["ino"],"workloads":["mcf"],"iq_size":[8]}`)); err == nil {
+		t.Error("typo'd axis name accepted")
+	}
+	g, err := ReadGrid(strings.NewReader(`{"models":["ino"],"workloads":["mcf"],"ops":1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Ops != 1000 {
+		t.Errorf("ops = %d", g.Ops)
+	}
+}

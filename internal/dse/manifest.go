@@ -1,0 +1,61 @@
+package dse
+
+import (
+	"fmt"
+	"runtime"
+
+	"casino/internal/manifest"
+	"casino/internal/sim"
+)
+
+// SweepFigure is the Figure id of sweep manifests (Compare gates it).
+const SweepFigure = "sweep"
+
+// CellManifest builds the single-cell manifest for one completed design
+// point: the cell's provenance plus its headline metrics under the
+// "cell.<key>." prefix. Per-cell manifests are what shards hand back;
+// manifest.Merge folds any grouping of them into the same bytes.
+func CellManifest(c Cell, r sim.Result, traceFP uint64) *manifest.Manifest {
+	m := manifest.New(SweepFigure)
+	m.Kind = manifest.KindSweep
+	m.Ops, m.Warmup, m.Seed = c.Ops, c.Warmup, c.Seed
+	m.Apps = []string{c.Workload}
+	m.Workloads[c.Workload] = fmt.Sprintf("%016x", traceFP)
+	m.GoVersion = runtime.Version()
+	m.Cells = []manifest.Cell{{
+		Key:      c.Key(),
+		Model:    c.Model,
+		Workload: c.Workload,
+		SpecFP:   fmt.Sprintf("%016x", c.SpecFingerprint()),
+		TraceFP:  fmt.Sprintf("%016x", traceFP),
+	}}
+	p := "cell." + c.Key() + "."
+	m.Metrics[p+"ipc"] = r.IPC
+	m.Metrics[p+"cycles"] = float64(r.Cycles)
+	m.Metrics[p+"instructions"] = float64(r.Instructions)
+	m.Metrics[p+"total_pj"] = r.TotalPJ
+	m.Metrics[p+"energy_per_inst_pj"] = r.EnergyPerInst
+	m.Metrics[p+"perf_per_energy"] = r.PerfPerEnergy
+	m.Metrics[p+"area_mm2"] = r.AreaMM2
+	return m
+}
+
+// MergeCells merges the per-cell manifests of a completed sweep. The
+// output is deterministic — a pure function of (cells, results, traces) —
+// so sharded and serial executions of the same grid are byte-identical.
+// Wall time deliberately stays out of the manifest: it would break that
+// property and Compare never reads it.
+func MergeCells(cells []Cell, results []sim.Result, traceFPs map[string]uint64) (*manifest.Manifest, error) {
+	if len(cells) != len(results) {
+		return nil, fmt.Errorf("dse: %d cells but %d results", len(cells), len(results))
+	}
+	parts := make([]*manifest.Manifest, len(cells))
+	for i, c := range cells {
+		fp, ok := traceFPs[c.Workload]
+		if !ok {
+			return nil, fmt.Errorf("dse: no trace fingerprint for workload %q", c.Workload)
+		}
+		parts[i] = CellManifest(c, results[i], fp)
+	}
+	return manifest.Merge(parts...)
+}

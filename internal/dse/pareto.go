@@ -1,0 +1,86 @@
+package dse
+
+import (
+	"math"
+	"sort"
+
+	"casino/internal/sim"
+)
+
+// Point is one design point in the IPC × energy plane. Higher IPC is
+// better; lower energy per instruction is better.
+type Point struct {
+	Cell          string  `json:"cell"` // Cell.Key()
+	Model         string  `json:"model"`
+	Workload      string  `json:"workload"`
+	IPC           float64 `json:"ipc"`
+	EnergyPerInst float64 `json:"energy_per_inst_pj"`
+	PerfPerEnergy float64 `json:"perf_per_energy"`
+}
+
+// pointOf projects a cell's result onto the Pareto plane.
+func pointOf(c Cell, r sim.Result) Point {
+	return Point{
+		Cell:          c.Key(),
+		Model:         c.Model,
+		Workload:      c.Workload,
+		IPC:           r.IPC,
+		EnergyPerInst: r.EnergyPerInst,
+		PerfPerEnergy: r.PerfPerEnergy,
+	}
+}
+
+// Frontier returns the Pareto-optimal subset of points: a point survives
+// unless some other point has >= IPC and <= energy with at least one
+// strict inequality. The frontier is returned sorted by ascending IPC
+// (and, for stable output, by cell key among equals).
+func Frontier(points []Point) []Point {
+	pts := append([]Point(nil), points...)
+	// Sort best-first: IPC descending, energy ascending, key for stability.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].IPC != pts[j].IPC {
+			return pts[i].IPC > pts[j].IPC
+		}
+		if pts[i].EnergyPerInst != pts[j].EnergyPerInst {
+			return pts[i].EnergyPerInst < pts[j].EnergyPerInst
+		}
+		return pts[i].Cell < pts[j].Cell
+	})
+	// Sweep best-IPC-first keeping every point that strictly improves the
+	// minimum energy seen so far. A point tying the current best on both
+	// axes is co-optimal (no strict inequality) and kept too.
+	var out []Point
+	bestEnergy := math.Inf(1)
+	bestIPC := math.Inf(-1)
+	for _, p := range pts {
+		switch {
+		case p.EnergyPerInst < bestEnergy:
+			out = append(out, p)
+			bestEnergy, bestIPC = p.EnergyPerInst, p.IPC
+		case p.EnergyPerInst == bestEnergy && p.IPC == bestIPC:
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IPC != out[j].IPC {
+			return out[i].IPC < out[j].IPC
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	return out
+}
+
+// FrontierByWorkload groups the points per workload and reduces each
+// group to its Pareto frontier — cross-workload IPCs are not comparable,
+// so each workload gets its own frontier.
+func FrontierByWorkload(points []Point) map[string][]Point {
+	groups := map[string][]Point{}
+	for _, p := range points {
+		groups[p.Workload] = append(groups[p.Workload], p)
+	}
+	out := make(map[string][]Point, len(groups))
+	for w, pts := range groups {
+		out[w] = Frontier(pts)
+	}
+	return out
+}

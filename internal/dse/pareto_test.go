@@ -1,0 +1,62 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func pt(key string, ipc, epi float64) Point {
+	return Point{Cell: key, Workload: "mcf", IPC: ipc, EnergyPerInst: epi}
+}
+
+func keysOf(pts []Point) []string {
+	var out []string
+	for _, p := range pts {
+		out = append(out, p.Cell)
+	}
+	return out
+}
+
+func TestFrontier(t *testing.T) {
+	pts := []Point{
+		pt("a", 1.0, 10), // on frontier (cheapest)
+		pt("b", 1.5, 12), // on frontier
+		pt("c", 1.4, 13), // dominated by b (less IPC, more energy)
+		pt("d", 2.0, 20), // on frontier (fastest)
+		pt("e", 1.5, 15), // dominated by b (same IPC, more energy)
+		pt("f", 1.0, 11), // dominated by a
+	}
+	got := keysOf(Frontier(pts))
+	want := []string{"a", "b", "d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("frontier = %v, want %v", got, want)
+	}
+}
+
+func TestFrontierKeepsCoOptimalTies(t *testing.T) {
+	pts := []Point{pt("a", 1.0, 10), pt("b", 1.0, 10), pt("c", 0.9, 10)}
+	got := keysOf(Frontier(pts))
+	// a and b tie on both axes (neither dominates); c is strictly worse.
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("frontier = %v, want %v", got, want)
+	}
+}
+
+func TestFrontierEmptyAndSingle(t *testing.T) {
+	if got := Frontier(nil); len(got) != 0 {
+		t.Errorf("empty frontier = %v", got)
+	}
+	if got := Frontier([]Point{pt("a", 1, 1)}); len(got) != 1 {
+		t.Errorf("single-point frontier = %v", got)
+	}
+}
+
+func TestFrontierByWorkloadGroups(t *testing.T) {
+	a := pt("a", 1.0, 10)
+	b := Point{Cell: "b", Workload: "milc", IPC: 0.5, EnergyPerInst: 50}
+	got := FrontierByWorkload([]Point{a, b})
+	if len(got) != 2 || len(got["mcf"]) != 1 || len(got["milc"]) != 1 {
+		t.Errorf("per-workload grouping wrong: %v", got)
+	}
+}

@@ -1,0 +1,50 @@
+package dse
+
+import (
+	"casino/internal/manifest"
+	"casino/internal/sim"
+)
+
+// RunGrid executes the grid synchronously on a pool of `workers`
+// goroutines (1 = strictly serial, <= 0 = all CPUs) with no result cache,
+// returning the merged sweep manifest and every design point. It is the
+// gating path: `casino-bench sweep -workers 1` runs the exact cells a
+// server sweep shards, and the manifests must be byte-identical.
+func RunGrid(g Grid, workers int) (*manifest.Manifest, []Point, error) {
+	cells, err := g.Expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	ng := g.normalized()
+	traceFPs := map[string]uint64{}
+	for _, w := range ng.sortedWorkloads() {
+		tr, err := sim.SharedTrace(w, ng.Warmup+ng.Ops, ng.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		traceFPs[w] = tr.Fingerprint()
+	}
+	simCells := make([]sim.Cell, len(cells))
+	for i, c := range cells {
+		spec, err := c.Spec()
+		if err != nil {
+			return nil, nil, err
+		}
+		simCells[i] = sim.Cell{App: c.Workload, Model: c.Model, Index: i, Spec: spec}
+	}
+	cellResults := sim.RunCells(simCells, workers, nil, nil)
+	if err := sim.JoinCellErrors(cellResults); err != nil {
+		return nil, nil, err
+	}
+	results := make([]sim.Result, len(cellResults))
+	points := make([]Point, len(cellResults))
+	for i, r := range cellResults {
+		results[i] = r.Result
+		points[i] = pointOf(cells[i], r.Result)
+	}
+	m, err := MergeCells(cells, results, traceFPs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, points, nil
+}

@@ -1,0 +1,128 @@
+package dse
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Server exposes the engine over HTTP. Routes (see README for a curl
+// session):
+//
+//	POST /v1/sweeps               submit a Grid, get {"id": ...} back (202)
+//	GET  /v1/sweeps/{id}          job progress: cells done/total, cache hits
+//	GET  /v1/sweeps/{id}/manifest merged sweep manifest (409 until done)
+//	GET  /v1/sweeps/{id}/pareto   per-workload IPC × energy Pareto frontiers
+//	GET  /healthz                 liveness
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewServer wires the engine's HTTP surface.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sweeps", s.submit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/manifest", s.manifest)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/pareto", s.pareto)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SubmitResponse is the POST /v1/sweeps body.
+type SubmitResponse struct {
+	ID        string `json:"id"`
+	Cells     int    `json:"cells"`
+	StatusURL string `json:"status_url"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	g, err := ReadGrid(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.engine.Submit(g)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrShuttingDown) || errors.Is(err, ErrQueueFull) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID:        job.ID,
+		Cells:     len(job.Cells),
+		StatusURL: "/v1/sweeps/" + job.ID,
+	})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, ok := s.engine.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", r.PathValue("id")))
+	}
+	return job, ok
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Snapshot())
+	}
+}
+
+func (s *Server) manifest(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	m, ready := job.Manifest()
+	if !ready {
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep %s is %s, manifest not available", job.ID, job.Snapshot().State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := m.Encode(w); err != nil {
+		// Headers are gone; nothing useful left to send.
+		return
+	}
+}
+
+// ParetoResponse is the GET /v1/sweeps/{id}/pareto body: per workload,
+// the Pareto-optimal (IPC, energy/inst) design points in ascending IPC.
+type ParetoResponse struct {
+	ID        string             `json:"id"`
+	Workloads map[string][]Point `json:"workloads"`
+}
+
+func (s *Server) pareto(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	pts, ready := job.Points()
+	if !ready {
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep %s is %s, pareto not available", job.ID, job.Snapshot().State))
+		return
+	}
+	writeJSON(w, http.StatusOK, ParetoResponse{ID: job.ID, Workloads: FrontierByWorkload(pts)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -132,6 +132,32 @@ func Compare(golden, got *Manifest, opt CompareOptions) []Diff {
 		}
 	}
 
+	// Cell provenance (sweep manifests): the cell sets must match exactly,
+	// and matching keys must agree on spec and trace fingerprints. Figure
+	// manifests carry no cells, so this is vacuous for them.
+	gotCells := map[string]Cell{}
+	for _, c := range got.Cells {
+		gotCells[c.Key] = c
+	}
+	for _, c := range golden.Cells {
+		gc, ok := gotCells[c.Key]
+		delete(gotCells, c.Key)
+		if !ok {
+			diffs = append(diffs, Diff{Kind: DiffFingerprint, Metric: "cell " + c.Key,
+				Detail: "present in golden, absent from candidate"})
+			continue
+		}
+		if gc != c {
+			diffs = append(diffs, Diff{Kind: DiffFingerprint, Metric: "cell " + c.Key,
+				Detail: fmt.Sprintf("golden spec=%s trace=%s, candidate spec=%s trace=%s",
+					c.SpecFP, c.TraceFP, gc.SpecFP, gc.TraceFP)})
+		}
+	}
+	for _, key := range sortedKeys(gotCells) {
+		diffs = append(diffs, Diff{Kind: DiffFingerprint, Metric: "cell " + key,
+			Detail: "present in candidate, absent from golden"})
+	}
+
 	for _, name := range sortedKeys(golden.Metrics) {
 		want := golden.Metrics[name]
 		gotV, ok := got.Metrics[name]

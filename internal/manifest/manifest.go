@@ -45,6 +45,13 @@ type Manifest struct {
 	// metrics. All drift gating happens here.
 	Metrics map[string]float64 `json:"metrics"`
 
+	// Cells is the provenance of multi-cell (sweep) manifests: one entry
+	// per simulated design point, sorted by Key, each naming the cell and
+	// the spec/trace fingerprints its metrics were produced under. Figure
+	// manifests leave it empty. Compare checks cells exactly — a sweep
+	// whose cell set or fingerprints moved is a different experiment.
+	Cells []Cell `json:"cells,omitempty"`
+
 	// Informational environment fields, never compared.
 	WallSeconds float64 `json:"wall_seconds"`
 	AllocBytes  uint64  `json:"alloc_bytes"`
@@ -53,6 +60,21 @@ type Manifest struct {
 
 // KindFigures is the Kind value written by casino-bench figure runs.
 const KindFigures = "casino-bench/figures"
+
+// KindSweep is the Kind value written by DSE sweep runs (the casino-server
+// service and `casino-bench sweep`).
+const KindSweep = "casino-dse/sweep"
+
+// Cell records the provenance of one sweep design point: its stable key
+// (workload/model plus the parameter overrides), and the %016x FNV-1a
+// fingerprints of the resolved spec and of the replayed workload trace.
+type Cell struct {
+	Key      string `json:"key"`
+	Model    string `json:"model"`
+	Workload string `json:"workload"`
+	SpecFP   string `json:"spec_fingerprint"`
+	TraceFP  string `json:"trace_fingerprint"`
+}
 
 // New returns an empty manifest at the current schema version.
 func New(figure string) *Manifest {

@@ -1,0 +1,84 @@
+package manifest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge combines per-cell (or per-shard) manifests of one sweep into a
+// single manifest. All parts must describe the same experiment — same
+// Kind, Figure, Ops, Warmup and Seed — and the merge is strict:
+//
+//   - Apps become the sorted union.
+//   - Workload fingerprints are unioned; the same app reported with two
+//     different fingerprints is an error (shards replayed different
+//     traces — their metrics are incomparable).
+//   - Metrics are unioned; the same metric name reported with two
+//     different values is an error (two shards claim the same cell and
+//     disagree — a determinism violation, never something to paper over).
+//   - Cells are concatenated and sorted by Key; two cells with the same
+//     Key must agree on every field (identical duplicates collapse, which
+//     is what lets overlapping sweeps merge).
+//
+// Merging is associative and order-independent: any grouping of the same
+// parts encodes to the same bytes, which is what makes sharded results
+// byte-comparable against a serial run.
+func Merge(parts ...*Manifest) (*Manifest, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("manifest: merge of zero manifests")
+	}
+	first := parts[0]
+	out := &Manifest{
+		Version:   Version,
+		Kind:      first.Kind,
+		Figure:    first.Figure,
+		Ops:       first.Ops,
+		Warmup:    first.Warmup,
+		Seed:      first.Seed,
+		Workloads: map[string]string{},
+		Metrics:   map[string]float64{},
+		GoVersion: first.GoVersion,
+	}
+	cells := map[string]Cell{}
+	appSet := map[string]bool{}
+	for i, p := range parts {
+		if p.Version != Version {
+			return nil, &VersionError{Got: p.Version}
+		}
+		if p.Kind != out.Kind || p.Figure != out.Figure ||
+			p.Ops != out.Ops || p.Warmup != out.Warmup || p.Seed != out.Seed {
+			return nil, fmt.Errorf("manifest: merge: part %d describes a different experiment (kind=%q figure=%q ops=%d warmup=%d seed=%d, want kind=%q figure=%q ops=%d warmup=%d seed=%d)",
+				i, p.Kind, p.Figure, p.Ops, p.Warmup, p.Seed,
+				out.Kind, out.Figure, out.Ops, out.Warmup, out.Seed)
+		}
+		for _, app := range p.Apps {
+			appSet[app] = true
+		}
+		for app, fp := range p.Workloads {
+			if prev, ok := out.Workloads[app]; ok && prev != fp {
+				return nil, fmt.Errorf("manifest: merge: workload %q has conflicting trace fingerprints %s vs %s", app, prev, fp)
+			}
+			out.Workloads[app] = fp
+		}
+		for name, v := range p.Metrics {
+			if prev, ok := out.Metrics[name]; ok && prev != v {
+				return nil, fmt.Errorf("manifest: merge: metric %q has conflicting values %v vs %v", name, prev, v)
+			}
+			out.Metrics[name] = v
+		}
+		for _, c := range p.Cells {
+			if prev, ok := cells[c.Key]; ok && prev != c {
+				return nil, fmt.Errorf("manifest: merge: cell %q has conflicting provenance (%+v vs %+v)", c.Key, prev, c)
+			}
+			cells[c.Key] = c
+		}
+	}
+	for app := range appSet {
+		out.Apps = append(out.Apps, app)
+	}
+	sort.Strings(out.Apps)
+	for _, key := range sortedKeys(cells) {
+		out.Cells = append(out.Cells, cells[key])
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package manifest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sweepPart(app, cellKey string, metric string, v float64) *Manifest {
+	m := New("sweep")
+	m.Kind = KindSweep
+	m.Ops, m.Warmup, m.Seed = 20000, 5000, 1
+	m.Apps = []string{app}
+	m.Workloads[app] = "00000000deadbeef"
+	m.Metrics[metric] = v
+	m.Cells = []Cell{{Key: cellKey, Model: "casino", Workload: app,
+		SpecFP: "0000000000000001", TraceFP: "00000000deadbeef"}}
+	return m
+}
+
+func TestMergeUnionsAndSorts(t *testing.T) {
+	a := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.25)
+	b := sweepPart("astar", "astar/casino[ws2,so1]", "cell.astar/casino[ws2,so1].ipc", 0.9)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(m.Apps, ","); got != "astar,mcf" {
+		t.Errorf("apps not sorted union: %q", got)
+	}
+	if len(m.Metrics) != 2 || len(m.Workloads) != 2 {
+		t.Errorf("metrics/workloads not unioned: %d/%d", len(m.Metrics), len(m.Workloads))
+	}
+	if len(m.Cells) != 2 || m.Cells[0].Key != "astar/casino[ws2,so1]" {
+		t.Errorf("cells not sorted by key: %+v", m.Cells)
+	}
+}
+
+// Merging is order-independent down to the encoded bytes: that is what
+// lets a sharded sweep (arbitrary completion order) be byte-compared
+// against a serial run of the same cells.
+func TestMergeOrderIndependentBytes(t *testing.T) {
+	a := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.25)
+	b := sweepPart("astar", "astar/casino[ws2,so1]", "cell.astar/casino[ws2,so1].ipc", 0.9)
+	c := sweepPart("milc", "milc/ino", "cell.milc/ino.ipc", 0.7)
+	ab, err := Merge(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Merge(c, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := ab.Encode(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Errorf("merge order changed encoded bytes:\n%s\nvs\n%s", buf1.String(), buf2.String())
+	}
+}
+
+func TestMergeOverlapCollapsesIdenticalCells(t *testing.T) {
+	a := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.25)
+	b := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.25)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 1 || len(m.Metrics) != 1 {
+		t.Errorf("identical overlap did not collapse: %d cells, %d metrics", len(m.Cells), len(m.Metrics))
+	}
+}
+
+func TestMergeConflicts(t *testing.T) {
+	base := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.25)
+
+	metricConflict := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.26)
+	if _, err := Merge(base, metricConflict); err == nil || !strings.Contains(err.Error(), "conflicting values") {
+		t.Errorf("metric conflict not detected: %v", err)
+	}
+
+	fpConflict := sweepPart("mcf", "mcf/ino", "cell.mcf/ino.ipc", 0.7)
+	fpConflict.Workloads["mcf"] = "0000000000000bad"
+	if _, err := Merge(base, fpConflict); err == nil || !strings.Contains(err.Error(), "conflicting trace fingerprints") {
+		t.Errorf("workload fingerprint conflict not detected: %v", err)
+	}
+
+	cellConflict := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.other", 1.0)
+	cellConflict.Cells[0].SpecFP = "000000000000beef"
+	if _, err := Merge(base, cellConflict); err == nil || !strings.Contains(err.Error(), "conflicting provenance") {
+		t.Errorf("cell provenance conflict not detected: %v", err)
+	}
+
+	specMismatch := sweepPart("mcf", "mcf/ino", "cell.mcf/ino.ipc", 0.7)
+	specMismatch.Ops = 999
+	if _, err := Merge(base, specMismatch); err == nil || !strings.Contains(err.Error(), "different experiment") {
+		t.Errorf("spec mismatch not detected: %v", err)
+	}
+
+	if _, err := Merge(); err == nil {
+		t.Error("zero-part merge did not error")
+	}
+}
+
+func TestCompareChecksCells(t *testing.T) {
+	golden := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.25)
+
+	// Identical manifests: no diffs.
+	same := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.25)
+	if diffs := Compare(golden, same, CompareOptions{}); len(diffs) != 0 {
+		t.Fatalf("identical sweep manifests diff: %v", diffs)
+	}
+
+	// Same metrics but a cell's spec fingerprint moved: must be flagged.
+	drifted := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.25)
+	drifted.Cells[0].SpecFP = "000000000000beef"
+	diffs := Compare(golden, drifted, CompareOptions{})
+	if len(diffs) != 1 || diffs[0].Kind != DiffFingerprint {
+		t.Fatalf("cell fingerprint drift not flagged: %v", diffs)
+	}
+
+	// Candidate carries an extra cell: flagged even with AllowExtra (extra
+	// cells mean a different sweep, not new instrumentation).
+	extra := sweepPart("mcf", "mcf/casino[ws2,so1]", "cell.mcf/casino[ws2,so1].ipc", 1.25)
+	extra.Cells = append(extra.Cells, Cell{Key: "mcf/ino", Model: "ino", Workload: "mcf",
+		SpecFP: "0000000000000002", TraceFP: "00000000deadbeef"})
+	diffs = Compare(golden, extra, CompareOptions{AllowExtra: true})
+	if len(diffs) != 1 || !strings.Contains(diffs[0].Metric, "mcf/ino") {
+		t.Fatalf("extra cell not flagged: %v", diffs)
+	}
+}

@@ -1,10 +1,7 @@
 package sim
 
 import (
-	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"casino/internal/core"
 	"casino/internal/ino"
@@ -59,21 +56,16 @@ func (o Options) traceLen() int {
 // runMatrix executes specs[i] for every app in parallel and returns
 // results indexed [app][i]. Each app's trace is resolved once up front
 // through the shared cache and handed to every spec in the column, so a
-// figure never generates the same trace twice. All worker errors are
-// aggregated (not just the first), each naming its (app, model[index])
-// cell. An app with any failed cell is dropped from the result map
-// entirely — a column with zero-valued Results would silently corrupt the
-// figure's normalizations — so on partial failure callers get the error
-// plus only the complete columns.
+// figure never generates the same trace twice. Execution goes through the
+// sharded cell runner (runner.go): all worker errors are aggregated (not
+// just the first), each naming its (app, model[index]) cell. An app with
+// any failed cell is dropped from the result map entirely — a column with
+// zero-valued Results would silently corrupt the figure's normalizations —
+// so on partial failure callers get the error plus only the complete
+// columns.
 func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result, error) {
 	apps := o.apps()
-	type job struct {
-		app   string
-		i     int
-		model string
-		s     Spec
-	}
-	var jobs []job
+	var cells []Cell
 	out := make(map[string][]Result, len(apps))
 	n := o.traceLen()
 	for _, app := range apps {
@@ -87,41 +79,22 @@ func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result,
 			s.Workload = app
 			o.fill(&s)
 			s.Trace = tr
-			jobs = append(jobs, job{app, i, s.Model, s})
+			cells = append(cells, Cell{App: app, Model: s.Model, Index: i, Spec: s})
 		}
 	}
-	var (
-		mu     sync.Mutex
-		wg     sync.WaitGroup
-		sem    = make(chan struct{}, runtime.GOMAXPROCS(0))
-		errs   []error
-		failed map[string]bool
-	)
-	for _, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(j job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			r, err := Run(j.s)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, fmt.Errorf("cell (%s, %s[%d]): %w", j.app, j.model, j.i, err))
-				if failed == nil {
-					failed = make(map[string]bool)
-				}
-				failed[j.app] = true
-				return
-			}
-			out[j.app][j.i] = r
-		}(j)
+	results := RunCells(cells, 0, nil, nil)
+	failed := map[string]bool{}
+	for _, r := range results {
+		if r.Err != nil {
+			failed[r.Cell.App] = true
+			continue
+		}
+		out[r.Cell.App][r.Cell.Index] = r.Result
 	}
-	wg.Wait()
 	for app := range failed {
 		delete(out, app)
 	}
-	if err := errors.Join(errs...); err != nil {
+	if err := JoinCellErrors(results); err != nil {
 		return out, err
 	}
 	return out, nil
