@@ -158,13 +158,20 @@ func main() {
 		}
 		wall := time.Since(start).Seconds()
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, wall, out)
-		e := perfEntry{Fig: id, WallSeconds: wall, SimCycles: sim.SimulatedCycles() - cyc0}
+		simCyc := sim.SimulatedCycles() - cyc0
+		perf.Total.WallSeconds += wall
+		perf.Total.SimCycles += simCyc
+		if simCyc == 0 {
+			// Figures that run no simulation (static tables like table1)
+			// have no meaningful cycle rate; they count toward the total
+			// wall clock but get no per-figure rate row.
+			continue
+		}
+		e := perfEntry{Fig: id, WallSeconds: wall, SimCycles: simCyc}
 		if wall > 0 {
-			e.CyclesPerSecond = float64(e.SimCycles) / wall
+			e.CyclesPerSecond = float64(simCyc) / wall
 		}
 		perf.Figures = append(perf.Figures, e)
-		perf.Total.WallSeconds += e.WallSeconds
-		perf.Total.SimCycles += e.SimCycles
 	}
 	if *perfOut != "" {
 		perf.Total.Fig = "total"

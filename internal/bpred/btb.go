@@ -1,5 +1,7 @@
 package bpred
 
+import "sync"
+
 // BTB is the branch target buffer of Table I: 512 sets, 4-way set
 // associative, LRU replacement.
 type BTB struct {
@@ -92,9 +94,29 @@ type Predictor struct {
 	Mispredicts uint64
 }
 
-// NewPredictor creates the Table I predictor pair.
+// pool recycles predictors across simulation runs: the TAGE/BTB tables are
+// among the largest per-run allocations, and Reset restores exactly the
+// fresh-constructed state (covered by the package's Reset tests), so a
+// recycled predictor is indistinguishable from a new one.
+var pool sync.Pool
+
+// NewPredictor creates the Table I predictor pair, reusing a recycled one
+// when available.
 func NewPredictor() *Predictor {
+	if v := pool.Get(); v != nil {
+		p := v.(*Predictor)
+		p.Reset()
+		return p
+	}
 	return &Predictor{TAGE: NewTAGE(), BTB: NewBTB()}
+}
+
+// Recycle returns p to the construction pool. The caller must not use p
+// afterwards.
+func Recycle(p *Predictor) {
+	if p != nil {
+		pool.Put(p)
+	}
 }
 
 // OnBranch predicts the branch at pc, trains with the resolved outcome

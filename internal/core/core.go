@@ -300,11 +300,12 @@ func (c *Core) allocEntry(op *isa.MicroOp) *opEntry {
 		e = new(opEntry)
 		c.entryAllocs++
 	}
-	*e = opEntry{
-		op: op, queue: 0,
-		newP: regfile.PRegNone, oldP: regfile.PRegNone,
-		dstP: regfile.PRegNone, srcP1: regfile.PRegNone, srcP2: regfile.PRegNone,
-	}
+	// Clear-then-set compiles to a duff-zero plus a few stores; assigning a
+	// composite literal copied the whole 100-byte struct through a temp.
+	*e = opEntry{}
+	e.op = op
+	e.newP, e.oldP, e.dstP = regfile.PRegNone, regfile.PRegNone, regfile.PRegNone
+	e.srcP1, e.srcP2 = regfile.PRegNone, regfile.PRegNone
 	return e
 }
 

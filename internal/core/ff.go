@@ -38,7 +38,8 @@ func (c *Core) ProgressSignature() uint64 {
 	// FNV-1a chained by hand: this runs on every commit-free cycle, so it
 	// must not materialize an array (stack copies) per call.
 	const p = 1099511628211
-	s := c.ffSig()
+	var s ffSig
+	c.ffSig(&s)
 	h := uint64(1469598103934665603)
 	h = (h ^ s.committed) * p
 	h = (h ^ s.fetched) * p
@@ -295,30 +296,31 @@ type ffSig struct {
 	queues, rob, sq, lq, dbUsed, buf                int
 }
 
-func (c *Core) ffSig() ffSig {
+// ffSig fills s in place: it runs twice per fast-forward attempt, and
+// returning the 96-byte struct by value showed up as duffcopy in profiles.
+func (c *Core) ffSig(s *ffSig) {
 	qh := 0
 	for i := range c.queues {
 		qh = qh*257 + c.queues[i].len()
 	}
-	s := ffSig{
-		committed: c.committed,
-		fetched:   c.fe.Fetched,
-		issued:    c.fus.IssuedTotal(),
-		l1:        c.acct.L1Access,
-		flushes:   c.Flushes,
-		queues:    qh,
-		rob:       c.rob.len(),
-		sq:        c.sq.Len(),
-		dbUsed:    c.dbUsed,
-		buf:       c.fe.BufLen(),
-	}
+	s.committed = c.committed
+	s.fetched = c.fe.Fetched
+	s.issued = c.fus.IssuedTotal()
+	s.l1 = c.acct.L1Access
+	s.flushes = c.Flushes
+	s.queues = qh
+	s.rob = c.rob.len()
+	s.sq = c.sq.Len()
+	s.dbUsed = c.dbUsed
+	s.buf = c.fe.BufLen()
+	s.lq = 0
 	if c.lq != nil {
 		s.lq = c.lq.Len()
 	}
+	s.remote = 0
 	if c.remote != nil {
 		s.remote = c.remote.Invalidations
 	}
-	return s
 }
 
 // FastForward runs one real Cycle() and, if that cycle turned out idle,
@@ -337,7 +339,8 @@ func (c *Core) ffSig() ffSig {
 // a nearer wakeup (an I-cache refill it started, say) that the pre-cycle
 // NextWake could not see.
 func (c *Core) FastForward(to int64) bool {
-	sig := c.ffSig()
+	var sig ffSig
+	c.ffSig(&sig)
 	c.acct.BeginDelta()
 	st0 := [6]uint64{c.StallIQFull, c.StallPReg, c.StallProdCount, c.StallROBSQ, c.StallFU, c.StallDataBuf}
 	sqReads0 := c.sq.Reads
@@ -348,7 +351,9 @@ func (c *Core) FastForward(to int64) bool {
 	}
 	cpi0 := c.cpi
 	c.Cycle()
-	if c.ffSig() != sig {
+	var sig2 ffSig
+	c.ffSig(&sig2)
+	if sig2 != sig {
 		return false
 	}
 	if h := c.wq.Horizon(c.now); h < to {

@@ -72,21 +72,49 @@ func (r *opRing) popBack() *opEntry {
 }
 
 // removeAt deletes the entry at index i, preserving the order of the rest.
+// Like at, all index wrap uses conditional subtracts — this runs on every
+// S-IQ issue and the divides dominated its profile.
 func (r *opRing) removeAt(i int) *opEntry {
 	e := r.at(i)
+	m := len(r.buf)
 	if i <= r.n-1-i {
 		// Shift the (shorter) front segment toward the tail by one.
-		for j := i; j > 0; j-- {
-			r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j-1)%len(r.buf)]
+		j := r.head + i
+		if j >= m {
+			j -= m
+		}
+		for j != r.head {
+			k := j - 1
+			if k < 0 {
+				k = m - 1
+			}
+			r.buf[j] = r.buf[k]
+			j = k
 		}
 		r.buf[r.head] = nil
-		r.head = (r.head + 1) % len(r.buf)
+		r.head++
+		if r.head == m {
+			r.head = 0
+		}
 	} else {
 		// Shift the (shorter) back segment toward the head by one.
-		for j := i; j < r.n-1; j++ {
-			r.buf[(r.head+j)%len(r.buf)] = r.buf[(r.head+j+1)%len(r.buf)]
+		j := r.head + i
+		if j >= m {
+			j -= m
 		}
-		r.buf[(r.head+r.n-1)%len(r.buf)] = nil
+		last := r.head + r.n - 1
+		if last >= m {
+			last -= m
+		}
+		for j != last {
+			k := j + 1
+			if k == m {
+				k = 0
+			}
+			r.buf[j] = r.buf[k]
+			j = k
+		}
+		r.buf[last] = nil
 	}
 	r.n--
 	return e
@@ -94,20 +122,34 @@ func (r *opRing) removeAt(i int) *opEntry {
 
 // filter keeps the entries keep reports true for, preserving order, and
 // hands every removed entry to dropped (which may be nil). Used by flush
-// recovery, so it favours clarity over speed.
+// recovery.
 func (r *opRing) filter(keep func(*opEntry) bool, dropped func(*opEntry)) {
-	w := 0
+	m := len(r.buf)
+	w := r.head
+	kept := 0
 	for i := 0; i < r.n; i++ {
-		e := r.at(i)
+		j := r.head + i
+		if j >= m {
+			j -= m
+		}
+		e := r.buf[j]
 		if keep(e) {
-			r.buf[(r.head+w)%len(r.buf)] = e
+			r.buf[w] = e
+			kept++
 			w++
+			if w == m {
+				w = 0
+			}
 		} else if dropped != nil {
 			dropped(e)
 		}
 	}
-	for i := w; i < r.n; i++ {
-		r.buf[(r.head+i)%len(r.buf)] = nil
+	for i := kept; i < r.n; i++ {
+		j := r.head + i
+		if j >= m {
+			j -= m
+		}
+		r.buf[j] = nil
 	}
-	r.n = w
+	r.n = kept
 }

@@ -412,11 +412,21 @@ func (c *Core) recordProducerDistance(e *opEntry) {
 		if p == nil || p.issued || int(p.queue) != last {
 			continue
 		}
-		for i := q.len() - 1; i >= 0; i-- {
-			if q.at(i) == p {
-				c.ProducerDist.Add(q.len() - 1 - i)
-				return
+		// The IQ is age-ordered (oldest at 0, Seq strictly increasing), so
+		// the producer's slot is found by binary search on Seq rather than
+		// the reverse linear scan this used to do per passed instruction.
+		lo, hi := 0, q.len()
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if q.at(mid).op.Seq < p.op.Seq {
+				lo = mid + 1
+			} else {
+				hi = mid
 			}
+		}
+		if lo < q.len() && q.at(lo) == p {
+			c.ProducerDist.Add(q.len() - 1 - lo)
+			return
 		}
 	}
 }

@@ -15,6 +15,10 @@ func (c *Core) SetPipeTrace(rec *ptrace.Recorder) {
 // CPIStack exposes the per-cycle stall attribution accumulated so far.
 func (c *Core) CPIStack() *ptrace.CPI { return &c.cpi }
 
+// Recycle returns pooled resources (the branch predictor) at end of run.
+// The core must not be cycled afterwards.
+func (c *Core) Recycle() { c.fe.RecyclePredictor() }
+
 func (c *Core) emit(cycle int64, seq uint64, k ptrace.Kind) {
 	if c.pt != nil {
 		c.pt.Emit(ptrace.Event{Cycle: cycle, Seq: seq, Kind: k})

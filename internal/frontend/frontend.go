@@ -150,6 +150,13 @@ func (f *FrontEnd) SetPipeTrace(rec *ptrace.Recorder) { f.pt = rec }
 // every stall expiry (I-cache refills, redirect penalties) as it is stored.
 func (f *FrontEnd) SetWakeQueue(q *eventq.Queue) { f.wq = q }
 
+// RecyclePredictor returns the branch predictor to bpred's construction
+// pool at end of run. The front end must not fetch afterwards.
+func (f *FrontEnd) RecyclePredictor() {
+	bpred.Recycle(f.pred)
+	f.pred = nil
+}
+
 // BufLen returns the number of buffered decoded ops.
 func (f *FrontEnd) BufLen() int { return f.n }
 

@@ -235,6 +235,7 @@ func (h *Hierarchy) Reset() {
 	}
 	h.Loads, h.Stores, h.Fetches = 0, 0, 0
 	h.LoadsByLvl = [3]uint64{}
+	h.wq = nil // detach the previous run's wakeup queue (Wake is nil-safe)
 }
 
 // MSHRStats exposes MSHR activity (allocs, merges, full-stalls).

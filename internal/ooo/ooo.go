@@ -11,6 +11,9 @@
 package ooo
 
 import (
+	"math/bits"
+	"os"
+
 	"casino/internal/bpred"
 	"casino/internal/energy"
 	"casino/internal/eventq"
@@ -24,6 +27,13 @@ import (
 	"casino/internal/stats"
 	"casino/internal/trace"
 )
+
+// NoScoreboard disables the producer-push wakeup bitmap and falls back to
+// the original full-scheduler scan on every cycle — retained as the
+// cross-validation oracle. The env var mirrors the CASINO_NO_FASTFORWARD
+// kill switch; tests flip the variable directly (it is sampled once per
+// core, at construction).
+var NoScoreboard = os.Getenv("CASINO_NO_SCOREBOARD") != ""
 
 // Config holds the OoO core parameters.
 type Config struct {
@@ -111,6 +121,12 @@ type Core struct {
 	n    int
 	iqN  int // entries with inIQ set (avoids rescanning the ROB in dispatch)
 
+	// Push-wakeup select state: iqMask mirrors inIQ as one bit per ring
+	// slot, and the regfile's candidate bitmap marks slots whose source
+	// producers have all issued. sb latches !NoScoreboard at construction.
+	sb     bool
+	iqMask []uint64
+
 	committed uint64
 
 	pt  *ptrace.Recorder // optional pipeline-event recorder (nil = off)
@@ -156,6 +172,11 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	if !cfg.NoLQ {
 		c.lq = lsu.NewLoadQueue(cfg.LQSize)
 		c.OccLQ = stats.NewHist(cfg.LQSize + 1)
+	}
+	c.sb = !NoScoreboard
+	if c.sb {
+		c.rf.EnableWakeup(cfg.ROBSize)
+		c.iqMask = make([]uint64, (cfg.ROBSize+63)/64)
 	}
 	c.wq = eventq.New(2*(cfg.ROBSize+cfg.SQSize) + 16)
 	c.fus.SetWakeQueue(c.wq)
@@ -225,6 +246,10 @@ func (c *Core) SetPipeTrace(rec *ptrace.Recorder) {
 
 // CPIStack exposes the per-cycle stall attribution accumulated so far.
 func (c *Core) CPIStack() *ptrace.CPI { return &c.cpi }
+
+// Recycle returns pooled resources (the branch predictor) at end of run.
+// The core must not be cycled afterwards.
+func (c *Core) Recycle() { c.fe.RecyclePredictor() }
 
 func (c *Core) emit(cycle int64, seq uint64, k ptrace.Kind) {
 	if c.pt != nil {
@@ -345,7 +370,93 @@ func (c *Core) commit(now int64) {
 }
 
 // issue selects up to Width ready instructions oldest-first from the IQ.
+// With the scoreboard on, only slots raised on the candidate bitmap
+// (every source producer issued) are visited; entries skipped that way
+// would have failed ready() at the source check without side effects, so
+// the two paths take identical decisions.
 func (c *Core) issue(now int64) {
+	if !c.sb {
+		c.issueScan(now)
+		return
+	}
+	issued := 0
+	end := c.head + c.n
+	hi := end
+	if hi > len(c.rob) {
+		hi = len(c.rob)
+	}
+	if c.issueRange(now, c.head, hi, &issued) {
+		return
+	}
+	if end > len(c.rob) {
+		c.issueRange(now, 0, end-len(c.rob), &issued)
+	}
+}
+
+// issueRange walks ready candidates in ring slots [lo, hi) — a contiguous,
+// non-wrapping, age-ordered run — via bits.TrailingZeros64 over the
+// candidate∧inIQ words. Returns true when issue must stop for this cycle
+// (width exhausted or a violation flush).
+func (c *Core) issueRange(now int64, lo, hi int, issued *int) bool {
+	wake := c.rf.WakeWords()
+	for wi := lo >> 6; wi<<6 < hi; wi++ {
+		base := wi << 6
+		w := wake[wi] & c.iqMask[wi]
+		if lo > base {
+			w &= ^uint64(0) << uint(lo-base)
+		}
+		if hi < base+64 {
+			w &= (uint64(1) << uint(hi-base)) - 1
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= uint64(1) << uint(b)
+			e := &c.rob[base+b]
+			if !c.ready(e, now) {
+				continue
+			}
+			if !c.fus.Issue(e.op.Class, now) {
+				continue
+			}
+			c.countFU(e.op.Class)
+			c.acct.Inc(c.hIQ, energy.Read, 1)
+			c.acct.Inc(c.hPRF, energy.Read, 2)
+			c.executeOp(e, now)
+			// A completion next cycle needs no wakeup: this issue already
+			// makes the current cycle non-idle, so no jump can start before
+			// it lands.
+			if e.done > now+1 {
+				c.wq.Wake(e.done)
+			}
+			e.inIQ = false
+			c.iqN--
+			c.iqMask[wi] &^= uint64(1) << uint(b)
+			e.issued = true
+			e.issueCycle = now
+			c.emit(now, e.op.Seq, ptrace.KindIssueSpec)
+			c.emit(e.done, e.op.Seq, ptrace.KindComplete)
+			*issued++
+			if e.op.HasDst() {
+				// Completion broadcasts the destination tag across both
+				// source-tag columns of the IQ CAM (two match arrays).
+				c.acct.Inc(c.hIQ, energy.Search, 2)
+				c.acct.Inc(c.hPRF, energy.Write, 1)
+			}
+			if c.flushedThisCycle {
+				c.flushedThisCycle = false
+				return true
+			}
+			if *issued >= c.cfg.Width {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// issueScan is the original poll-based select: examine every scheduler
+// entry each cycle, oldest first. Retained as the NoScoreboard oracle.
+func (c *Core) issueScan(now int64) {
 	issued := 0
 	for i := 0; i < c.n && issued < c.cfg.Width; i++ {
 		e := c.at(i)
@@ -492,6 +603,16 @@ func (c *Core) violationFlush(victim uint64, now int64) {
 		if e.inIQ {
 			c.iqN--
 		}
+		if c.sb {
+			// Invalidate the squashed slot: registered waiters must not
+			// fire for whatever occupies the slot next.
+			j := c.head + c.n - 1
+			if j >= len(c.rob) {
+				j -= len(c.rob)
+			}
+			c.rf.ResetSlot(j)
+			c.iqMask[j>>6] &^= uint64(1) << uint(j&63)
+		}
 		c.n--
 	}
 	if c.lq != nil {
@@ -522,7 +643,11 @@ func (c *Core) dispatch(now int64) {
 			return
 		}
 		c.fe.Pop()
-		e := c.at(c.n)
+		j := c.head + c.n
+		if j >= len(c.rob) {
+			j -= len(c.rob)
+		}
+		e := &c.rob[j]
 		*e = robEntry{
 			op:        op,
 			inIQ:      true,
@@ -533,6 +658,13 @@ func (c *Core) dispatch(now int64) {
 			oldP:      regfile.PRegNone,
 		}
 		c.acct.Inc(c.hRAT, energy.Read, 2)
+		if c.sb {
+			c.rf.ResetSlot(j)
+			c.rf.WaitOn(e.srcP1, j)
+			c.rf.WaitOn(e.srcP2, j)
+			c.rf.ArmSlot(j)
+			c.iqMask[j>>6] |= uint64(1) << uint(j&63)
+		}
 		if op.HasDst() {
 			newP, oldP, ok := c.rf.Allocate(op.Dst)
 			if !ok {

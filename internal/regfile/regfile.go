@@ -27,6 +27,7 @@ type File struct {
 	readyAt   []int64
 	producers []uint8 // CASINO ProducerCount per preg
 	maxProd   uint8
+	wu        *wakeup // producer-push wakeup state (nil = disabled)
 
 	// Activity counters for the energy model.
 	RATReads  uint64
@@ -118,6 +119,9 @@ func (f *File) Allocate(a isa.Reg) (newP, oldP PReg, ok bool) {
 	f.Allocs++
 	f.readyAt[newP] = notReady
 	f.producers[newP] = 0
+	if f.wu != nil {
+		f.wu.dropWaiters(newP)
+	}
 	return newP, oldP, true
 }
 
@@ -179,13 +183,19 @@ func (f *File) PeekReadyAt(p PReg) int64 {
 // IsReady reports whether p's value is available at cycle now.
 func (f *File) IsReady(p PReg, now int64) bool { return f.ReadyAt(p) <= now }
 
-// SetReadyAt records that p's value becomes available at cycle c.
+// SetReadyAt records that p's value becomes available at cycle c. When
+// push-wakeup is enabled, the not-ready→known transition fires p's
+// registered waiters.
 func (f *File) SetReadyAt(p PReg, c int64) {
 	if p == PRegNone {
 		return
 	}
 	f.SBWrites++
+	old := f.readyAt[p]
 	f.readyAt[p] = c
+	if f.wu != nil && old == notReady && c != notReady {
+		f.wu.fireWaiters(p)
+	}
 }
 
 // MarkNotReady marks p as pending (producer in flight).
@@ -236,9 +246,13 @@ type RecoveryEntry struct {
 
 // RecoveryLog is the small mapping log of §III-C5. Because CASINO renames
 // conditionally, it holds only the speculatively issued instructions'
-// mappings, so recovery completes in a few cycles.
+// mappings, so recovery completes in a few cycles. Live entries occupy
+// entries[head:]; Commit advances head instead of shifting the slice (it
+// runs once per committed instruction), compacting only when the dead
+// prefix dominates.
 type RecoveryLog struct {
 	entries []RecoveryEntry
+	head    int
 	Pushes  uint64
 }
 
@@ -250,12 +264,17 @@ func (l *RecoveryLog) Push(e RecoveryEntry) {
 
 // Commit discards entries older than seq (their instructions committed).
 func (l *RecoveryLog) Commit(seq uint64) {
-	i := 0
-	for i < len(l.entries) && l.entries[i].Seq <= seq {
-		i++
+	for l.head < len(l.entries) && l.entries[l.head].Seq <= seq {
+		l.head++
 	}
-	if i > 0 {
-		l.entries = append(l.entries[:0], l.entries[i:]...)
+	switch {
+	case l.head == len(l.entries):
+		l.entries = l.entries[:0]
+		l.head = 0
+	case l.head > 64 && l.head*2 >= len(l.entries):
+		n := copy(l.entries, l.entries[l.head:])
+		l.entries = l.entries[:n]
+		l.head = 0
 	}
 }
 
@@ -264,7 +283,7 @@ func (l *RecoveryLog) Commit(seq uint64) {
 // of entries undone (the recovery latency in rename-ports worth of work).
 func (l *RecoveryLog) Unwind(f *File, seq uint64) int {
 	n := 0
-	for len(l.entries) > 0 {
+	for len(l.entries) > l.head {
 		e := l.entries[len(l.entries)-1]
 		if e.Seq < seq {
 			break
@@ -278,4 +297,4 @@ func (l *RecoveryLog) Unwind(f *File, seq uint64) int {
 }
 
 // Len returns the number of live log entries.
-func (l *RecoveryLog) Len() int { return len(l.entries) }
+func (l *RecoveryLog) Len() int { return len(l.entries) - l.head }

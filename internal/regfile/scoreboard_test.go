@@ -1,0 +1,152 @@
+package regfile
+
+import (
+	"testing"
+
+	"casino/internal/isa"
+)
+
+func wakeupFile(t testing.TB, slots int) *File {
+	t.Helper()
+	f := New(isa.NumIntRegs+16, isa.NumFPRegs+16, 3)
+	f.EnableWakeup(slots)
+	return f
+}
+
+func slotRaised(f *File, slot int) bool {
+	return f.WakeWords()[slot>>6]&(uint64(1)<<uint(slot&63)) != 0
+}
+
+// TestWakeupFiresRegisteredWaiter covers the basic producer-push contract:
+// a slot waiting on an unissued producer is raised on the candidate bitmap
+// exactly when the producer's readiness time becomes known.
+func TestWakeupFiresRegisteredWaiter(t *testing.T) {
+	f := wakeupFile(t, 64)
+	p, _, ok := f.Allocate(isa.IntReg(1))
+	if !ok {
+		t.Fatal("allocate failed")
+	}
+	const slot = 5
+	f.ResetSlot(slot)
+	f.WaitOn(p, slot)
+	f.ArmSlot(slot)
+	if slotRaised(f, slot) {
+		t.Fatal("slot raised while its producer is still pending")
+	}
+	f.SetReadyAt(p, 42)
+	if !slotRaised(f, slot) {
+		t.Fatal("producer completion did not raise the waiting slot")
+	}
+}
+
+// TestWakeupReadySourceNeedsNoRegistration: WaitOn on a preg whose readiness
+// time is already known must not register (the selector checks the time
+// directly), so ArmSlot raises the slot immediately.
+func TestWakeupReadySourceNeedsNoRegistration(t *testing.T) {
+	f := wakeupFile(t, 64)
+	p := f.Lookup(isa.IntReg(2)) // architectural mapping: ready at 0
+	const slot = 9
+	f.ResetSlot(slot)
+	f.WaitOn(p, slot)
+	f.ArmSlot(slot)
+	if !slotRaised(f, slot) {
+		t.Fatal("slot with only ready sources was not raised at dispatch")
+	}
+}
+
+// TestWakeupSquashedWaiterDoesNotFire is the squash-safety property: a
+// waiter registered by a slot occupant that is later squashed (ResetSlot)
+// must not raise the slot when the producer finally completes — the slot
+// may already hold a different instruction with its own pending sources.
+func TestWakeupSquashedWaiterDoesNotFire(t *testing.T) {
+	f := wakeupFile(t, 64)
+	p, _, ok := f.Allocate(isa.IntReg(1))
+	if !ok {
+		t.Fatal("allocate failed")
+	}
+	const slot = 17
+	f.ResetSlot(slot)
+	f.WaitOn(p, slot)
+
+	// Flush: the slot's occupant is squashed, then the slot is reused by a
+	// new instruction waiting on a different producer.
+	f.ResetSlot(slot)
+	q, _, ok := f.Allocate(isa.IntReg(3))
+	if !ok {
+		t.Fatal("allocate failed")
+	}
+	f.WaitOn(q, slot)
+	f.ArmSlot(slot)
+
+	// The squashed registration's producer completes: the stale node must
+	// be generation-dead, leaving the new occupant still pending.
+	f.SetReadyAt(p, 10)
+	if slotRaised(f, slot) {
+		t.Fatal("stale waiter from a squashed occupant raised the slot")
+	}
+	f.SetReadyAt(q, 12)
+	if !slotRaised(f, slot) {
+		t.Fatal("live waiter did not raise the slot after its producer completed")
+	}
+}
+
+// TestWakeupReallocDropsStaleWaiters: waiter nodes left on a squashed
+// producer's list are dropped — without firing — when the preg is
+// re-allocated to a new instruction.
+func TestWakeupReallocDropsStaleWaiters(t *testing.T) {
+	f := wakeupFile(t, 64)
+	p, oldP, ok := f.Allocate(isa.IntReg(1))
+	if !ok {
+		t.Fatal("allocate failed")
+	}
+	const slot = 3
+	f.ResetSlot(slot)
+	f.WaitOn(p, slot)
+
+	// Squash both the consumer and the producer; the producer's preg goes
+	// back to the free list with the waiter node still chained on it.
+	f.ResetSlot(slot)
+	f.SetMapping(isa.IntReg(1), oldP)
+	f.Release(p)
+
+	// Re-allocation claims the preg for an unrelated instruction: the stale
+	// node must be freed without firing.
+	p2, _, ok := f.Allocate(isa.IntReg(4))
+	if !ok {
+		t.Fatal("re-allocate failed")
+	}
+	if p2 != p {
+		t.Fatalf("free list did not hand back the released preg (got %d want %d)", p2, p)
+	}
+	f.SetReadyAt(p2, 7)
+	if slotRaised(f, slot) {
+		t.Fatal("re-allocated producer fired a waiter from its previous life")
+	}
+}
+
+// BenchmarkWakeup measures the steady-state register/fire/reuse cycle of
+// the push-wakeup machinery; the node pool and free lists make it
+// allocation-free, which CI gates at 0 allocs/op.
+func BenchmarkWakeup(b *testing.B) {
+	f := wakeupFile(b, 64)
+	run := func(i int) {
+		slot := i & 63
+		f.ResetSlot(slot)
+		newP, oldP, ok := f.Allocate(isa.IntReg(1 + i&7))
+		if !ok {
+			b.Fatal("free list exhausted")
+		}
+		f.WaitOn(newP, slot)
+		f.ArmSlot(slot)
+		f.SetReadyAt(newP, int64(i))
+		f.Release(oldP)
+	}
+	for i := 0; i < 64; i++ {
+		run(i) // warm the node pool
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(i)
+	}
+}

@@ -8,6 +8,7 @@ package sim
 import (
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"casino/internal/core"
@@ -192,7 +193,7 @@ func Run(s Spec) (Result, error) {
 	if s.MemCfg != nil {
 		memCfg = *s.MemCfg
 	}
-	hier := mem.NewHierarchy(memCfg)
+	hier := getHierarchy(memCfg)
 	acct := energy.NewAccountant()
 
 	c, publish, err := build(s, tr, hier, acct)
@@ -329,8 +330,39 @@ func Run(s Spec) (Result, error) {
 	if res.EnergyPerInst > 0 {
 		res.PerfPerEnergy = res.IPC / (res.EnergyPerInst / 1000) // IPC per nJ/inst
 	}
+	// Everything the result needs has been snapshotted: recycle the run's
+	// pooled state so sweep shards and figure matrices stop re-allocating
+	// (and re-GCing) cache arrays and predictor tables per cell.
+	if r, ok := c.(recycler); ok {
+		r.Recycle()
+	}
+	putHierarchy(hier)
 	return res, nil
 }
+
+// recycler is implemented by models that can return pooled resources at
+// end of run.
+type recycler interface{ Recycle() }
+
+// hierPool recycles memory hierarchies across runs. Hierarchy.Reset
+// restores exactly the fresh-constructed state (covered by the mem
+// package's Reset tests and this package's golden gating), so a recycled
+// hierarchy is indistinguishable from a new one. Specs with a
+// non-default memory configuration simply miss and rebuild.
+var hierPool sync.Pool
+
+func getHierarchy(cfg mem.Config) *mem.Hierarchy {
+	if v := hierPool.Get(); v != nil {
+		h := v.(*mem.Hierarchy)
+		if h.Config() == cfg {
+			h.Reset()
+			return h
+		}
+	}
+	return mem.NewHierarchy(cfg)
+}
+
+func putHierarchy(h *mem.Hierarchy) { hierPool.Put(h) }
 
 // build constructs the model and returns it plus the publisher that
 // snapshots its counters and histograms into a metrics registry after the

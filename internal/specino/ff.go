@@ -1,6 +1,10 @@
 package specino
 
-import "casino/internal/eventq"
+import (
+	"math/bits"
+
+	"casino/internal/eventq"
+)
 
 // noEvent mirrors lsu.NoEvent: no progress through the passage of time.
 const noEvent = int64(1) << 62
@@ -13,7 +17,7 @@ const noEvent = int64(1) << 62
 // queue with slideEvent's closed-form window-arrival bound.
 func (c *Core) NextWake() int64 {
 	now := c.now
-	if c.fe.BufLen() > 0 && len(c.iq) < c.cfg.IQSize {
+	if c.fe.BufLen() > 0 && c.n < c.cfg.IQSize {
 		return now
 	}
 	if c.fe.NextFetchEvent(now) <= now {
@@ -61,27 +65,21 @@ func (c *Core) slideEvent(now int64) int64 {
 			next = t
 		}
 	}
-	i0 := -1
-	for i, e := range c.iq {
-		if !e.issued {
-			i0 = i
-			break
-		}
-	}
-	if i0 < 0 {
+	if c.unissued == 0 {
 		return noEvent
 	}
+	i0 := bits.TrailingZeros64(c.unissued)
 	effW := c.winPos
 	if effW < i0+1 {
 		effW = i0 + 1
 	}
 	ws, so := c.cfg.WS, c.cfg.SO
-	for j := effW; j < len(c.iq); j++ {
-		e := c.iq[j]
-		if e.issued || (c.cfg.NonMemOnly && e.op.Class.IsMem()) {
+	for j := effW; j < c.n; j++ {
+		if c.unissued&(uint64(1)<<uint(j)) == 0 ||
+			(c.cfg.NonMemOnly && c.ops[j].Class.IsMem()) {
 			continue
 		}
-		r, ok := c.readyAt(e)
+		r, ok := c.readyInfo(j)
 		if !ok {
 			continue // blocked on an unissued producer
 		}
@@ -102,10 +100,10 @@ func (c *Core) slideEvent(now int64) int64 {
 			continue // window slides past j before it becomes ready
 		}
 		if k == 0 {
-			if c.fus.CanIssue(e.op.Class, now) {
+			if c.fus.CanIssue(c.ops[j].Class, now) {
 				return now
 			}
-			add(c.fus.NextFree(e.op.Class, now))
+			add(c.fus.NextFree(c.ops[j].Class, now))
 			continue
 		}
 		add(now + k)
@@ -132,32 +130,23 @@ func (c *Core) NextEvent() int64 {
 	}
 
 	// Commit from the IQ head.
-	if len(c.iq) > 0 {
-		e := c.iq[0]
-		if e.issued {
-			if e.done <= now {
-				return now
-			}
-			add(e.done)
+	if c.n > 0 && c.unissued&1 == 0 {
+		if c.done[0] <= now {
+			return now
 		}
+		add(c.done[0])
 	}
 
 	// In-order head engine: the first unissued entry.
-	i0 := -1
-	for i, e := range c.iq {
-		if !e.issued {
-			i0 = i
-			break
-		}
-	}
-	if i0 >= 0 {
-		if r, ok := c.readyAt(c.iq[i0]); ok {
+	if c.unissued != 0 {
+		i0 := bits.TrailingZeros64(c.unissued)
+		if r, ok := c.readyInfo(i0); ok {
 			if r > now {
 				add(r)
-			} else if c.fus.CanIssue(c.iq[i0].op.Class, now) {
+			} else if c.fus.CanIssue(c.ops[i0].Class, now) {
 				return now
 			} else {
-				add(c.fus.NextFree(c.iq[i0].op.Class, now))
+				add(c.fus.NextFree(c.ops[i0].Class, now))
 			}
 		}
 		// Blocked on an unissued producer: that issue is the prior event.
@@ -171,7 +160,7 @@ func (c *Core) NextEvent() int64 {
 	}
 
 	// Dispatch and fetch.
-	if c.fe.BufLen() > 0 && len(c.iq) < c.cfg.IQSize {
+	if c.fe.BufLen() > 0 && c.n < c.cfg.IQSize {
 		return now
 	}
 	if t := c.fe.NextFetchEvent(now); t <= now {
@@ -180,26 +169,6 @@ func (c *Core) NextEvent() int64 {
 		add(t)
 	}
 	return next
-}
-
-// readyAt returns the cycle e's operands complete. ok is false when a
-// producer has not issued yet — e cannot become ready through the passage
-// of time alone, and the producer's own issue is a separately tracked
-// event.
-func (c *Core) readyAt(e *entry) (int64, bool) {
-	var r int64
-	for _, p := range [...]*entry{e.prod1, e.prod2, e.stFwd} {
-		if p == nil {
-			continue
-		}
-		if !p.issued {
-			return 0, false
-		}
-		if p.done > r {
-			r = p.done
-		}
-	}
-	return r, true
 }
 
 // ffSig is the cheap progress signature guarding FastForward. winPos is
@@ -216,7 +185,7 @@ func (c *Core) ffSig() ffSig {
 		fetched:   c.fe.Fetched,
 		issued:    c.fus.IssuedTotal(),
 		l1:        c.acct.L1Access,
-		iq:        len(c.iq),
+		iq:        c.n,
 		buf:       c.fe.BufLen(),
 	}
 }
@@ -250,11 +219,11 @@ func (c *Core) FastForward(to int64) bool {
 	}
 	c.acct.ScaleDelta(uint64(n))
 	c.cpi.ScaleDelta(&cpi0, uint64(n))
-	if w := c.winPos + c.cfg.SO*int(min64(n, int64(len(c.iq)))); true {
+	if w := c.winPos + c.cfg.SO*int(min64(n, int64(c.n))); true {
 		// Guard the multiply against pathological n; the cap below makes any
 		// overshoot equivalent.
-		if w > len(c.iq) || w < c.winPos {
-			w = len(c.iq)
+		if w > c.n || w < c.winPos {
+			w = c.n
 		}
 		c.winPos = w
 	}

@@ -8,6 +8,9 @@
 package specino
 
 import (
+	"math/bits"
+	"os"
+
 	"casino/internal/bpred"
 	"casino/internal/energy"
 	"casino/internal/eventq"
@@ -18,6 +21,12 @@ import (
 	"casino/internal/ptrace"
 	"casino/internal/trace"
 )
+
+// NoScoreboard disables the producer-push wakeup path and recomputes
+// readiness by scanning producer state on every check — the original
+// poll-based oracle, retained for cross-validation. The env var mirrors
+// the CASINO_NO_FASTFORWARD kill switch; tests flip the variable directly.
+var NoScoreboard = os.Getenv("CASINO_NO_SCOREBOARD") != ""
 
 // Config holds the limit-study parameters.
 type Config struct {
@@ -34,16 +43,16 @@ func DefaultConfig(ws, so int) Config {
 	return Config{Width: 2, IQSize: 16, WS: ws, SO: so, FrontDepth: 5}
 }
 
-type entry struct {
-	op     *isa.MicroOp
-	issued bool
-	done   int64
-	prod1  *entry
-	prod2  *entry
-	stFwd  *entry // overlapping older store to wait on (oracle disambiguation)
-}
-
 // Core is the idealized SpecInO machine.
+//
+// The program-ordered window is held in structure-of-arrays form: index 0
+// is the oldest in-flight instruction and n entries are live, so the
+// per-cycle kernel walks dense int64/uint8 slices and one uint64 issue
+// mask instead of chasing per-entry heap pointers. Producers are
+// identified by dispatch sequence number (dseq): the entry with dseq d
+// lives at index d-headDseq, and d < headDseq means it already committed
+// (a committed producer is always ready — its completion preceded its
+// commit cycle).
 type Core struct {
 	cfg  Config
 	now  int64
@@ -53,10 +62,33 @@ type Core struct {
 	acct *energy.Accountant
 	wq   *eventq.Queue // shared wakeup queue (event-driven clock)
 
-	iq         []*entry // program-ordered window; commit from head
-	winPos     int      // window offset into iq
-	lastWriter [isa.NumArchRegs]*entry
-	lastStores []*entry // in-flight stores, oldest first
+	n       int
+	ops     []*isa.MicroOp
+	done    []int64 // completion cycle, valid once issued
+	readyT  []int64 // latest completion among this entry's issued producers
+	pending []uint8 // producers not yet issued (push-wakeup mode)
+	prodA   []int64 // dseq of Src1's writer, -1 = none (scan-oracle state)
+	prodB   []int64 // dseq of Src2's writer, -1 = none
+	stf     []int64 // dseq of the overlapping older store to forward from, -1 = none
+	wHead   []int32 // head of the entry's waiter list, -1 = empty
+
+	unissued uint64 // bit i set = entry i not yet issued
+	winPos   int    // window offset into the IQ
+	headDseq int64  // dseq of entry 0
+
+	lastWriter [isa.NumArchRegs]int64 // dseq of each register's last writer, -1 = none
+
+	// In-flight stores, oldest first, as a ring: commit retires stores in
+	// program order, so pruning is always a head pop (O(1) amortized).
+	stDseq        []int64
+	stOps         []*isa.MicroOp
+	stHead, stLen int
+
+	// Waiter-node pool: singly linked lists threaded through wNext, nodes
+	// recycled through a free list so steady state allocates nothing.
+	wNext []int32
+	wDseq []int64 // waiting consumer's dseq
+	wFree int32
 
 	committed uint64
 
@@ -78,7 +110,25 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	if cfg.WS < 1 || cfg.SO < 1 {
 		panic("specino: WS and SO must be positive")
 	}
+	if cfg.IQSize < 1 || cfg.IQSize > 64 {
+		panic("specino: IQSize must be in [1,64] — the issue mask is one dense uint64 word")
+	}
 	c := &Core{cfg: cfg, hier: hier, fus: pipeline.ScaledFUPool(cfg.Width), acct: acct}
+	q := cfg.IQSize
+	c.ops = make([]*isa.MicroOp, q)
+	c.done = make([]int64, q)
+	c.readyT = make([]int64, q)
+	c.pending = make([]uint8, q)
+	c.prodA = make([]int64, q)
+	c.prodB = make([]int64, q)
+	c.stf = make([]int64, q)
+	c.wHead = make([]int32, q)
+	c.stDseq = make([]int64, q)
+	c.stOps = make([]*isa.MicroOp, q)
+	c.wFree = -1
+	for i := range c.lastWriter {
+		c.lastWriter[i] = -1
+	}
 	c.wq = eventq.New(2*cfg.IQSize + 16)
 	c.fus.SetWakeQueue(c.wq)
 	hier.SetWakeQueue(c.wq)
@@ -96,7 +146,7 @@ func (c *Core) Now() int64 { return c.now }
 func (c *Core) Committed() uint64 { return c.committed }
 
 // Done reports pipeline drain.
-func (c *Core) Done() bool { return c.fe.Done() && len(c.iq) == 0 }
+func (c *Core) Done() bool { return c.fe.Done() && c.n == 0 }
 
 // SpecFraction returns the fraction of instructions issued by the sliding
 // window itself.
@@ -120,17 +170,6 @@ func (c *Core) OoOFraction() float64 {
 	return float64(c.OoOIssued) / float64(total)
 }
 
-// olderWaiting reports whether any instruction older than index idx is
-// still unissued.
-func (c *Core) olderWaiting(idx int) bool {
-	for i := 0; i < idx; i++ {
-		if !c.iq[i].issued {
-			return true
-		}
-	}
-	return false
-}
-
 // Cycle advances one clock.
 func (c *Core) Cycle() {
 	now := c.now
@@ -145,70 +184,89 @@ func (c *Core) Cycle() {
 	c.acct.Cycles++
 }
 
-// commit drains completed instructions in order from the IQ head.
+// commit drains completed instructions in order from the IQ head, then
+// shifts the window arrays once for the whole batch.
 func (c *Core) commit(now int64) {
-	n := 0
-	for len(c.iq) > 0 && n < c.cfg.Width {
-		e := c.iq[0]
-		if !e.issued || e.done > now {
+	k := 0
+	for k < c.cfg.Width && k < c.n {
+		if c.unissued&(uint64(1)<<uint(k)) != 0 || c.done[k] > now {
 			break
 		}
-		if e.op.Class == isa.Store {
+		op := c.ops[k]
+		if op.Class == isa.Store {
 			// Perfect store buffering: retire directly (timing charged at
-			// issue; the limit study has no SB stalls).
-			c.hier.Store(e.op.PC, e.op.Addr, now)
+			// issue; the limit study has no SB stalls). In-order commit
+			// makes the committing store the store ring's head.
+			c.hier.Store(op.PC, op.Addr, now)
 			c.acct.L1Access++
+			c.popStore()
 		}
 		if c.OnCommit != nil {
-			c.OnCommit(e.op.Seq)
+			c.OnCommit(op.Seq)
 		}
-		c.emit(now, e.op.Seq, ptrace.KindCommit)
-		c.iq = c.iq[1:]
-		if c.winPos > 0 {
-			c.winPos--
-		}
+		c.emit(now, op.Seq, ptrace.KindCommit)
 		c.committed++
-		n++
-		c.pruneStores(e)
+		k++
+	}
+	if k > 0 {
+		c.shift(k)
+		c.winPos -= k
+		if c.winPos < 0 {
+			c.winPos = 0
+		}
 	}
 }
 
-func (c *Core) pruneStores(e *entry) {
-	if e.op.Class != isa.Store {
-		return
+// shift retires the k oldest entries by sliding every parallel array left.
+// Committed entries never hold waiter lists (their waiters fired at issue)
+// and their dseqs drop below headDseq, which is what marks producer
+// references to them as "always ready".
+func (c *Core) shift(k int) {
+	m := c.n - k
+	copy(c.ops[:m], c.ops[k:c.n])
+	copy(c.done[:m], c.done[k:c.n])
+	copy(c.readyT[:m], c.readyT[k:c.n])
+	copy(c.pending[:m], c.pending[k:c.n])
+	copy(c.prodA[:m], c.prodA[k:c.n])
+	copy(c.prodB[:m], c.prodB[k:c.n])
+	copy(c.stf[:m], c.stf[k:c.n])
+	copy(c.wHead[:m], c.wHead[k:c.n])
+	for i := m; i < c.n; i++ {
+		c.ops[i] = nil
 	}
-	for i, s := range c.lastStores {
-		if s == e {
-			c.lastStores = append(c.lastStores[:i], c.lastStores[i+1:]...)
-			return
-		}
-	}
+	c.unissued >>= uint(k)
+	c.headDseq += int64(k)
+	c.n = m
 }
 
 func (c *Core) issue(now int64) {
 	slots := c.cfg.Width
-	// In-order issue at the IQ head (the conventional InO engine).
+	// In-order issue at the IQ head (the conventional InO engine): the
+	// issue mask finds the next unissued entry in one TrailingZeros64
+	// instead of a linear walk over issued entries.
 	idx := 0
-	for slots > 0 && idx < len(c.iq) {
-		e := c.iq[idx]
-		if e.issued {
-			idx++
-			continue
-		}
-		if !c.ready(e, now) || !c.fus.Issue(e.op.Class, now) {
+	for slots > 0 {
+		m := c.unissued >> uint(idx)
+		if m == 0 {
+			idx = c.n // every remaining entry has issued
 			break
 		}
-		if c.olderWaiting(idx) {
+		j := idx + bits.TrailingZeros64(m)
+		idx = j
+		if !c.readyIdx(j, now) || !c.fus.Issue(c.ops[j].Class, now) {
+			break
+		}
+		if c.unissued&((uint64(1)<<uint(j))-1) != 0 {
 			c.OoOIssued++
 		}
-		c.execute(e, now)
+		c.execute(j, now)
 		if c.pt != nil {
-			c.emit(now, e.op.Seq, ptrace.KindIssue)
-			c.emit(e.done, e.op.Seq, ptrace.KindComplete)
+			c.emit(now, c.ops[j].Seq, ptrace.KindIssue)
+			c.emit(c.done[j], c.ops[j].Seq, ptrace.KindComplete)
 		}
 		c.HeadIssued++
 		slots--
-		idx++
+		idx = j + 1
 	}
 	// The SpecInO window examines WS entries at winPos.
 	if c.winPos < idx+1 {
@@ -217,26 +275,25 @@ func (c *Core) issue(now int64) {
 	issuedFromWindow := false
 	for w := 0; w < c.cfg.WS && slots > 0; w++ {
 		p := c.winPos + w
-		if p >= len(c.iq) {
+		if p >= c.n {
 			break
 		}
-		e := c.iq[p]
-		if e.issued {
+		if c.unissued&(uint64(1)<<uint(p)) == 0 {
 			continue
 		}
-		if c.cfg.NonMemOnly && e.op.Class.IsMem() {
+		if c.cfg.NonMemOnly && c.ops[p].Class.IsMem() {
 			continue
 		}
-		if !c.ready(e, now) || !c.fus.Issue(e.op.Class, now) {
+		if !c.readyIdx(p, now) || !c.fus.Issue(c.ops[p].Class, now) {
 			continue
 		}
-		if c.olderWaiting(p) {
+		if c.unissued&((uint64(1)<<uint(p))-1) != 0 {
 			c.OoOIssued++
 		}
-		c.execute(e, now)
+		c.execute(p, now)
 		if c.pt != nil {
-			c.emit(now, e.op.Seq, ptrace.KindIssueSpec)
-			c.emit(e.done, e.op.Seq, ptrace.KindComplete)
+			c.emit(now, c.ops[p].Seq, ptrace.KindIssueSpec)
+			c.emit(c.done[p], c.ops[p].Seq, ptrace.KindComplete)
 		}
 		c.SpecIssued++
 		issuedFromWindow = true
@@ -248,85 +305,199 @@ func (c *Core) issue(now int64) {
 		// can only issue when they reach the IQ head, which is exactly why
 		// large sliding offsets hurt (§II-C).
 		c.winPos += c.cfg.SO
-		if c.winPos > len(c.iq) {
-			c.winPos = len(c.iq)
+		if c.winPos > c.n {
+			c.winPos = c.n
 		}
 	}
 }
 
-// ready uses exact dataflow (perfect renaming): an instruction is ready
-// when its producers completed; a load additionally waits for a
-// conflicting older store (perfect, violation-free disambiguation).
-func (c *Core) ready(e *entry, now int64) bool {
-	for _, p := range [...]*entry{e.prod1, e.prod2} {
-		if p != nil && (!p.issued || p.done > now) {
-			return false
-		}
+// readyIdx reports whether entry i can issue at cycle now. In push-wakeup
+// mode this is two dense loads: producers decrement pending and raise
+// readyT when they issue, so no producer state is revisited. The scan
+// oracle recomputes the same answer from producer dseqs.
+func (c *Core) readyIdx(i int, now int64) bool {
+	if NoScoreboard {
+		r, ok := c.readyInfo(i)
+		return ok && r <= now
 	}
-	if e.stFwd != nil && (!e.stFwd.issued || e.stFwd.done > now) {
-		return false
-	}
-	return true
+	return c.pending[i] == 0 && c.readyT[i] <= now
 }
 
-func (c *Core) execute(e *entry, now int64) {
-	op := e.op
-	e.issued = true
+// readyInfo returns the cycle entry i's operands complete; ok is false
+// while a producer has not issued. Committed producers (dseq < headDseq)
+// completed at or before their commit cycle, so they never bound r from
+// above now.
+func (c *Core) readyInfo(i int) (int64, bool) {
+	if !NoScoreboard {
+		return c.readyT[i], c.pending[i] == 0
+	}
+	var r int64
+	for _, d := range [...]int64{c.prodA[i], c.prodB[i], c.stf[i]} {
+		if d < c.headDseq {
+			continue // no producer, or it already committed
+		}
+		pi := int(d - c.headDseq)
+		if c.unissued&(uint64(1)<<uint(pi)) != 0 {
+			return 0, false
+		}
+		if c.done[pi] > r {
+			r = c.done[pi]
+		}
+	}
+	return r, true
+}
+
+func (c *Core) execute(i int, now int64) {
+	op := c.ops[i]
+	c.unissued &^= uint64(1) << uint(i)
+	var done int64
 	switch op.Class {
 	case isa.Load:
 		agu := now + int64(op.Class.ExecLatency())
-		if e.stFwd != nil {
-			e.done = agu + int64(c.hier.Config().L1Latency) // forwarded
+		if c.stf[i] >= 0 {
+			done = agu + int64(c.hier.Config().L1Latency) // forwarded
 		} else {
-			done, _ := c.hier.Load(op.PC, op.Addr, agu)
+			done, _ = c.hier.Load(op.PC, op.Addr, agu)
 			c.acct.L1Access++
-			e.done = done
 		}
 	case isa.Branch:
-		e.done = now + int64(op.Class.ExecLatency())
-		c.fe.BranchResolved(op.Seq, e.done)
+		done = now + int64(op.Class.ExecLatency())
+		c.fe.BranchResolved(op.Seq, done)
 	default:
-		e.done = now + int64(op.Class.ExecLatency())
+		done = now + int64(op.Class.ExecLatency())
+	}
+	c.done[i] = done
+	if !NoScoreboard {
+		c.fire(i, done)
 	}
 	// A completion next cycle needs no wakeup: this issue already makes the
 	// current cycle non-idle, so no jump can start before the effect lands.
-	if e.done > now+1 {
-		c.wq.Wake(e.done)
+	if done > now+1 {
+		c.wq.Wake(done)
 	}
 }
 
+// fire pushes entry i's completion to every registered waiter. Waiters are
+// identified by dseq: a waiting consumer can neither issue nor commit
+// before its producer issues, so the reference is always live.
+func (c *Core) fire(i int, done int64) {
+	for id := c.wHead[i]; id >= 0; {
+		ci := int(c.wDseq[id] - c.headDseq)
+		c.pending[ci]--
+		if done > c.readyT[ci] {
+			c.readyT[ci] = done
+		}
+		next := c.wNext[id]
+		c.wNext[id] = c.wFree
+		c.wFree = id
+		id = next
+	}
+	c.wHead[i] = -1
+}
+
+// watch registers consumer ci on producer dseq d: an already-issued
+// producer contributes its completion time immediately, an unissued one
+// gets a waiter node and bumps ci's pending count.
+func (c *Core) watch(d int64, ci int) {
+	if NoScoreboard || d < c.headDseq {
+		return // scan mode, no producer, or the producer committed
+	}
+	pi := int(d - c.headDseq)
+	if c.unissued&(uint64(1)<<uint(pi)) == 0 {
+		if t := c.done[pi]; t > c.readyT[ci] {
+			c.readyT[ci] = t
+		}
+		return
+	}
+	c.pending[ci]++
+	id := c.allocNode()
+	c.wDseq[id] = c.headDseq + int64(ci)
+	c.wNext[id] = c.wHead[pi]
+	c.wHead[pi] = id
+}
+
+func (c *Core) allocNode() int32 {
+	if c.wFree >= 0 {
+		id := c.wFree
+		c.wFree = c.wNext[id]
+		return id
+	}
+	c.wNext = append(c.wNext, 0)
+	c.wDseq = append(c.wDseq, 0)
+	return int32(len(c.wNext) - 1)
+}
+
 func (c *Core) dispatch() {
-	for k := 0; k < c.cfg.Width && len(c.iq) < c.cfg.IQSize; k++ {
+	for k := 0; k < c.cfg.Width && c.n < c.cfg.IQSize; k++ {
 		op := c.fe.Pop()
 		if op == nil {
 			return
 		}
-		e := &entry{op: op}
+		i := c.n
+		c.ops[i] = op
+		c.done[i] = 0
+		c.readyT[i] = 0
+		c.pending[i] = 0
+		c.prodA[i] = -1
+		c.prodB[i] = -1
+		c.stf[i] = -1
+		c.wHead[i] = -1
+		c.unissued |= uint64(1) << uint(i)
 		if op.Src1.Valid() {
-			e.prod1 = c.lastWriter[op.Src1]
+			c.prodA[i] = c.lastWriter[op.Src1]
+			c.watch(c.prodA[i], i)
 		}
 		if op.Src2.Valid() {
-			e.prod2 = c.lastWriter[op.Src2]
+			c.prodB[i] = c.lastWriter[op.Src2]
+			c.watch(c.prodB[i], i)
 		}
 		if op.Class == isa.Load {
 			// Oracle disambiguation: find the youngest overlapping older
 			// in-flight store (must forward from it when it completes).
-			for i := len(c.lastStores) - 1; i >= 0; i-- {
-				if c.lastStores[i].op.Overlaps(op) {
-					e.stFwd = c.lastStores[i]
+			for s := c.stLen - 1; s >= 0; s-- {
+				j := c.stIdx(s)
+				if c.stOps[j].Overlaps(op) {
+					c.stf[i] = c.stDseq[j]
+					c.watch(c.stf[i], i)
 					break
 				}
 			}
 		}
 		if op.HasDst() {
-			c.lastWriter[op.Dst] = e
+			c.lastWriter[op.Dst] = c.headDseq + int64(i)
 		}
 		if op.Class == isa.Store {
-			c.lastStores = append(c.lastStores, e)
+			c.pushStore(c.headDseq+int64(i), op)
 		}
-		c.iq = append(c.iq, e)
+		c.n++
 		c.emit(c.now, op.Seq, ptrace.KindDispatch)
 	}
+}
+
+// --- in-flight store ring ---
+
+func (c *Core) stIdx(s int) int {
+	j := c.stHead + s
+	if j >= len(c.stOps) {
+		j -= len(c.stOps)
+	}
+	return j
+}
+
+func (c *Core) pushStore(d int64, op *isa.MicroOp) {
+	j := c.stIdx(c.stLen)
+	c.stDseq[j] = d
+	c.stOps[j] = op
+	c.stLen++
+}
+
+func (c *Core) popStore() {
+	c.stOps[c.stHead] = nil
+	c.stHead++
+	if c.stHead == len(c.stOps) {
+		c.stHead = 0
+	}
+	c.stLen--
 }
 
 // SetPipeTrace installs (or removes, with nil) a pipeline-event recorder.
@@ -338,6 +509,10 @@ func (c *Core) SetPipeTrace(rec *ptrace.Recorder) {
 
 // CPIStack exposes the per-cycle stall attribution accumulated so far.
 func (c *Core) CPIStack() *ptrace.CPI { return &c.cpi }
+
+// Recycle returns pooled resources (the branch predictor) at end of run.
+// The core must not be cycled afterwards.
+func (c *Core) Recycle() { c.fe.RecyclePredictor() }
 
 func (c *Core) emit(cycle int64, seq uint64, k ptrace.Kind) {
 	if c.pt != nil {
@@ -356,6 +531,18 @@ func (c *Core) tickCPI(now int64, committed0 uint64) {
 	}
 }
 
+// stfBlocked reports whether entry i's forwarding store is still holding it
+// back: unissued, or issued but not complete. A committed store (dseq below
+// headDseq) finished at or before its commit cycle, so it never blocks.
+func (c *Core) stfBlocked(i int, now int64) bool {
+	d := c.stf[i]
+	if d < c.headDseq {
+		return false
+	}
+	si := int(d - c.headDseq)
+	return c.unissued&(uint64(1)<<uint(si)) != 0 || c.done[si] > now
+}
+
 // classifyCycle decides the cycle's CPI bucket: base if anything committed,
 // otherwise the reason the IQ head (the commit bottleneck) has not retired.
 // The limit study has perfect renaming and store buffering, so the only
@@ -364,24 +551,24 @@ func (c *Core) classifyCycle(now int64, committed0 uint64) (ptrace.Bucket, uint6
 	if c.committed > committed0 {
 		return ptrace.BucketBase, 0
 	}
-	if len(c.iq) > 0 {
-		e := c.iq[0]
-		if e.issued {
+	if c.n > 0 {
+		op := c.ops[0]
+		if c.unissued&1 == 0 {
 			// done > now always holds here: a completed head with a free
 			// commit slot (nothing committed) would have retired this cycle.
-			if e.op.Class.IsMem() {
-				return ptrace.BucketDCache, e.op.Seq
+			if op.Class.IsMem() {
+				return ptrace.BucketDCache, op.Seq
 			}
-			return ptrace.BucketExec, e.op.Seq
+			return ptrace.BucketExec, op.Seq
 		}
-		if r, ok := c.readyAt(e); !ok || r > now {
-			if p := e.stFwd; p != nil && (!p.issued || p.done > now) {
+		if r, ok := c.readyInfo(0); !ok || r > now {
+			if c.stfBlocked(0, now) {
 				// Oracle disambiguation holds the load for an older store.
-				return ptrace.BucketDCache, e.op.Seq
+				return ptrace.BucketDCache, op.Seq
 			}
-			return ptrace.BucketSrc, e.op.Seq
+			return ptrace.BucketSrc, op.Seq
 		}
-		return ptrace.BucketFU, e.op.Seq
+		return ptrace.BucketFU, op.Seq
 	}
 	if !c.fe.Done() {
 		return ptrace.BucketICache, 0
