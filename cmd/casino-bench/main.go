@@ -9,14 +9,18 @@
 //	casino-bench -fig 8 -apps mcf,milc   # a subset of applications
 //	casino-bench -fig all -json run.json # versioned run manifest
 //	casino-bench compare golden/fig_all.json run.json
-//	casino-bench sweep -grid grid.json -json out.json -workers 1
-//	casino-bench submit -server http://localhost:8573 -grid grid.json -out merged.json
+//	casino-bench sweep -grid grid.json -json out.json -workers 1 -progress
+//	casino-bench submit -server http://localhost:8573 -grid grid.json -out merged.json -progress
+//	casino-bench promlint -min-series 10 metrics.txt
 //
 // compare exits non-zero when any metric drifts outside its tolerance
 // band, printing one line per offending metric. sweep runs a DSE grid
 // locally (serial by default); submit posts the same grid to a running
 // casino-server, polls to completion, and downloads the merged manifest —
 // the two must produce byte-identical manifests for the same grid.
+// -progress renders a live cells-done/ETA line (submit streams it from
+// the server's SSE endpoint). promlint strictly checks a Prometheus text
+// exposition scrape, e.g. of casino-server's /metrics.
 package main
 
 import (
@@ -44,6 +48,8 @@ func main() {
 			os.Exit(runSweep(os.Args[2:]))
 		case "submit":
 			os.Exit(runSubmit(os.Args[2:]))
+		case "promlint":
+			os.Exit(runPromlint(os.Args[2:]))
 		}
 	}
 

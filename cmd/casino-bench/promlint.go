@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"casino/internal/telemetry"
+)
+
+// runPromlint strictly validates a Prometheus text exposition file
+// ("promlint" subcommand) against the in-repo grammar checker — the CI
+// server job feeds casino-server's /metrics scrape through it. Reads the
+// named file, or stdin for "-". Exits non-zero on any grammar violation
+// or when fewer than -min-series series are present.
+func runPromlint(args []string) int {
+	fs := flag.NewFlagSet("promlint", flag.ExitOnError)
+	minSeries := fs.Int("min-series", 0, "fail unless the exposition carries at least this many series")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: casino-bench promlint [-min-series N] <metrics.txt | ->")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	var in io.Reader = os.Stdin
+	name := fs.Arg(0)
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casino-bench promlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	n, err := telemetry.Lint(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casino-bench promlint: %s:\n%v\n", name, err)
+		return 1
+	}
+	if n < *minSeries {
+		fmt.Fprintf(os.Stderr, "casino-bench promlint: %s: only %d series, want >= %d\n", name, n, *minSeries)
+		return 1
+	}
+	fmt.Printf("promlint: %s: %d series OK\n", name, n)
+	return 0
+}

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"casino/internal/dse"
@@ -25,9 +28,10 @@ func runSweep(args []string) int {
 		jsonOut   = fs.String("json", "", "write the merged sweep manifest to this file (required)")
 		workers   = fs.Int("workers", 1, "worker pool size (1 = strictly serial, 0 = all CPUs)")
 		paretoOut = fs.String("pareto", "", "also write the per-workload Pareto frontiers as JSON to this file")
+		progress  = fs.Bool("progress", false, "render a live cells-done/ETA progress line on stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: casino-bench sweep -grid grid.json -json out.json [-workers N] [-pareto pareto.json]")
+		fmt.Fprintln(os.Stderr, "usage: casino-bench sweep -grid grid.json -json out.json [-workers N] [-pareto pareto.json] [-progress]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -41,7 +45,20 @@ func runSweep(args []string) int {
 		return 2
 	}
 	start := time.Now()
-	m, points, err := dse.RunGrid(g, *workers)
+	var onCell func(done, total int)
+	if *progress {
+		onCell = func(done, total int) {
+			// Observed throughput so far forecasts the remainder; the
+			// pool's parallelism is baked into the elapsed/done rate.
+			eta := time.Since(start).Seconds() / float64(done) * float64(total-done)
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells (%d%%) · ETA %s   ",
+				done, total, 100*done/total, fmtETA(eta))
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	m, points, err := dse.RunGridProgress(g, *workers, onCell)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "casino-bench sweep: %v\n", err)
 		return 1
@@ -81,9 +98,10 @@ func runSubmit(args []string) int {
 		paretoOut = fs.String("pareto", "", "write the per-workload Pareto frontiers to this file")
 		poll      = fs.Duration("poll", 250*time.Millisecond, "progress polling interval")
 		timeout   = fs.Duration("timeout", 15*time.Minute, "overall deadline")
+		progress  = fs.Bool("progress", false, "stream the server's SSE progress events and render a live TTY line (falls back to polling)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: casino-bench submit -server URL -grid grid.json [-out merged.json] [-pareto pareto.json]")
+		fmt.Fprintln(os.Stderr, "usage: casino-bench submit -server URL -grid grid.json [-out merged.json] [-pareto pareto.json] [-progress]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -119,8 +137,18 @@ func runSubmit(args []string) int {
 	statusURL := *server + sub.StatusURL
 	deadline := time.Now().Add(*timeout)
 	var st dse.Status
-	lastDone := -1
-	for {
+	settled := false
+	if *progress {
+		// Prefer the server's SSE stream; on any stream error fall back
+		// to the polling loop below so -progress never loses a sweep.
+		final, err := streamProgress(*server, sub.StatusURL, *timeout)
+		if err == nil {
+			st, settled = final.Status, true
+		} else {
+			fmt.Fprintf(os.Stderr, "casino-bench submit: SSE stream unavailable (%v), polling instead\n", err)
+		}
+	}
+	for lastDone := -1; !settled; {
 		if err := getJSON(client, statusURL, &st); err != nil {
 			fmt.Fprintf(os.Stderr, "casino-bench submit: poll: %v\n", err)
 			return 1
@@ -186,6 +214,74 @@ func runSubmit(args []string) int {
 		fmt.Printf("wrote Pareto frontiers to %s\n", *paretoOut)
 	}
 	return 0
+}
+
+// streamProgress consumes GET {base}{statusURL}/events — the server's
+// Server-Sent-Events progress stream — rendering a live TTY progress
+// line on stderr, and returns the terminal snapshot delivered by the
+// "done" event. Any transport or protocol error aborts the stream so the
+// caller can fall back to polling.
+func streamProgress(base, statusURL string, timeout time.Duration) (dse.Progress, error) {
+	// No per-request timeout: the stream lives as long as the sweep. The
+	// overall -timeout deadline still applies through the request context.
+	req, err := http.NewRequest(http.MethodGet, base+statusURL+"/events", nil)
+	if err != nil {
+		return dse.Progress{}, err
+	}
+	ctx, cancelCtx := context.WithTimeout(req.Context(), timeout)
+	defer cancelCtx()
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		return dse.Progress{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return dse.Progress{}, fmt.Errorf("%s: %s", resp.Status, body)
+	}
+
+	var p dse.Progress
+	event := ""
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &p); err != nil {
+				return dse.Progress{}, fmt.Errorf("bad SSE payload: %w", err)
+			}
+		case line == "": // event boundary: render the snapshot
+			pct := 0
+			if p.CellsTotal > 0 {
+				pct = 100 * p.CellsDone / p.CellsTotal
+			}
+			fmt.Fprintf(os.Stderr, "\rsweep %s: %s %d/%d cells (%d%%) · %d hits · ETA %s   ",
+				p.ID, p.State, p.CellsDone, p.CellsTotal, pct, p.CacheHits, fmtETA(p.ETASeconds))
+			if event == "done" {
+				fmt.Fprintln(os.Stderr)
+				return p, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return dse.Progress{}, err
+	}
+	return dse.Progress{}, fmt.Errorf("stream ended without a terminal event")
+}
+
+// fmtETA renders an ETA forecast compactly; sub-cell-one forecasts (no
+// estimate yet) show as a placeholder.
+func fmtETA(seconds float64) string {
+	if seconds <= 0 {
+		return "--"
+	}
+	d := time.Duration(seconds * float64(time.Second))
+	if d >= time.Minute {
+		return d.Round(time.Second).String()
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
 }
 
 func getJSON(client *http.Client, url string, v interface{}) error {

@@ -3,25 +3,34 @@
 // into simulation cells, shards them across a bounded worker pool sized
 // to the machine, caches results by spec+trace fingerprint so overlapping
 // sweeps never simulate the same design point twice, and serves merged
-// run manifests (compare-able against goldens) and IPC × energy Pareto
-// frontiers.
+// run manifests (compare-able against goldens), IPC × energy Pareto
+// frontiers, live per-sweep progress (polling and SSE), and Prometheus
+// metrics.
 //
 // Usage:
 //
 //	casino-server -addr :8573
-//	casino-bench submit -server http://localhost:8573 -grid grid.json -out merged.json
+//	casino-server -addr :8573 -log-format json -log-level debug -pprof
+//	casino-bench submit -server http://localhost:8573 -grid grid.json -out merged.json -progress
 //
 // Endpoints:
 //
 //	POST /v1/sweeps               submit a sweep grid (JSON), returns the job id
+//	GET  /v1/sweeps               list all sweeps with live progress
 //	GET  /v1/sweeps/{id}          progress: cells done/total, cache hits
+//	GET  /v1/sweeps/{id}/progress progress plus ETA / elapsed / cell-latency EWMA
+//	GET  /v1/sweeps/{id}/events   Server-Sent-Events progress stream
 //	GET  /v1/sweeps/{id}/manifest merged manifest (409 until the sweep completes)
 //	GET  /v1/sweeps/{id}/pareto   per-workload Pareto frontiers
+//	GET  /metrics                 Prometheus text exposition
 //	GET  /healthz                 liveness
+//	GET  /readyz                  readiness (503 once draining)
+//	GET  /debug/pprof/            profiling (only with -pprof)
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
-// accepting, every already accepted sweep drains to completion, then the
-// process exits 0.
+// accepting, every already accepted sweep drains to completion (SSE
+// subscribers receive their terminal events), the drain duration is
+// logged, then the process exits 0.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,13 +55,26 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker pool size (0 = runtime.NumCPU())")
 		cacheSize = flag.Int("cache", 0, "result cache capacity in cells (0 = default)")
 		drainWait = flag.Duration("drain-timeout", 10*time.Minute, "max time to wait for in-flight sweeps on shutdown")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: exposes heap contents)")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casino-server: %v\n", err)
+		os.Exit(2)
+	}
+
 	engine := dse.NewEngine(*workers, *cacheSize)
+	opts := []dse.ServerOption{dse.WithLogger(logger)}
+	if *withPprof {
+		opts = append(opts, dse.WithPprof())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           dse.NewServer(engine),
+		Handler:           dse.NewServer(engine, opts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -59,7 +82,9 @@ func main() {
 	if n <= 0 {
 		n = runtime.NumCPU()
 	}
-	fmt.Printf("casino-server: listening on %s (%d workers)\n", *addr, n)
+	logger.Info("listening",
+		"addr", *addr, "workers", n, "pprof", *withPprof,
+		"go", runtime.Version())
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -69,18 +94,20 @@ func main() {
 
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "casino-server: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	case s := <-sig:
-		fmt.Printf("casino-server: %v, draining in-flight sweeps\n", s)
+		logger.Info("shutdown signal, draining in-flight sweeps", "signal", s.String())
 	}
 
 	// Stop the listener first so no new sweeps land, then drain the
-	// engine: accepted jobs run their cells to completion.
+	// engine: accepted jobs run their cells to completion and every SSE
+	// subscriber sees its terminal event.
+	drainStart := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "casino-server: shutdown: %v\n", err)
+		logger.Error("listener shutdown", "err", err)
 	}
 	done := make(chan struct{})
 	go func() {
@@ -89,9 +116,27 @@ func main() {
 	}()
 	select {
 	case <-done:
-		fmt.Println("casino-server: drained, bye")
+		logger.Info("drained, bye", "drain_duration", time.Since(drainStart))
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "casino-server: drain timeout exceeded, exiting with work pending")
+		logger.Error("drain timeout exceeded, exiting with work pending",
+			"drain_timeout", *drainWait)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the process logger from the -log-level/-log-format
+// flags. Logs go to stderr so piped manifest output stays clean.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 }

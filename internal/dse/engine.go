@@ -4,10 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"casino/internal/manifest"
 	"casino/internal/sim"
+	"casino/internal/telemetry"
 )
 
 // Overload errors: the submission was well-formed but the engine cannot
@@ -32,6 +36,8 @@ type Job struct {
 	Grid  Grid
 	Cells []Cell
 
+	workers int // engine pool width, for the ETA forecast
+
 	mu       sync.Mutex
 	state    string
 	done     int
@@ -39,6 +45,18 @@ type Job struct {
 	errs     []string
 	manifest *manifest.Manifest
 	points   []Point
+
+	// Progress/telemetry state (wall-clock; never merged into manifests).
+	started  time.Time
+	finished time.Time
+	ewmaMs   float64
+	cellMs   []float64 // per-cell wall ms; cellMs[i] written before cell i's onCell
+
+	// SSE subscriptions (see progress.go).
+	subs     map[int]chan Progress
+	subSeq   int
+	terminal bool
+	final    Progress
 }
 
 // Status is a point-in-time snapshot of a job, shaped for the HTTP API.
@@ -84,6 +102,39 @@ func (j *Job) Points() ([]Point, bool) {
 	return append([]Point(nil), j.points...), true
 }
 
+// engineMetrics holds the engine's service-level instruments: lock-free
+// atomics bumped on the job/cell paths, snapshot by the telemetry
+// registry at scrape time (NewTelemetry). The simulation counters
+// (cycles, instructions, eventq totals) aggregate only cells that
+// actually simulated — cache hits represent work avoided, not done.
+type engineMetrics struct {
+	sweepsSubmitted atomic.Uint64
+	sweepsDone      atomic.Uint64
+	sweepsFailed    atomic.Uint64
+	cellsDone       atomic.Uint64
+	workersBusy     atomic.Int64
+
+	simCycles       atomic.Uint64
+	simInstructions atomic.Uint64
+	evqWakeups      atomic.Uint64
+	evqCoalesced    atomic.Uint64
+	ffSkipped       atomic.Uint64
+
+	// cellMs distributes per-cell wall time (cache hits included) for
+	// the /metrics p50/p90/p99 summary. Bucketed to 1ms up to 5 minutes.
+	cellMs *telemetry.Summary
+}
+
+// addCellCounters folds one freshly simulated cell's whole-run counters
+// into the service totals.
+func (m *engineMetrics) addCellCounters(res sim.Result) {
+	m.simCycles.Add(res.Cycles)
+	m.simInstructions.Add(res.Instructions)
+	m.evqWakeups.Add(uint64(res.Extra["evq.wakeups"]))
+	m.evqCoalesced.Add(uint64(res.Extra["evq.coalesced"]))
+	m.ffSkipped.Add(uint64(res.Extra["ff.skipped_cycles"]))
+}
+
 // Engine is the sweep executor: a FIFO job queue drained by one
 // dispatcher that shards each job's cells across a bounded worker pool
 // (sized to runtime.NumCPU() by default) through the fingerprint-keyed
@@ -100,6 +151,9 @@ type Engine struct {
 
 	queue   chan *Job
 	drained chan struct{}
+	started atomic.Bool // dispatcher goroutine is live: the readiness gate
+
+	met engineMetrics
 }
 
 // NewEngine starts an engine with the given pool width (<= 0 means
@@ -117,8 +171,10 @@ func NewEngine(workers, cacheSize int) *Engine {
 		queue:   make(chan *Job, 256),
 		drained: make(chan struct{}),
 	}
+	e.met.cellMs = telemetry.NewSummary(5 * 60 * 1000)
 	go func() {
 		defer close(e.drained)
+		e.started.Store(true)
 		for job := range e.queue {
 			e.runJob(job)
 		}
@@ -140,10 +196,11 @@ func (e *Engine) Submit(g Grid) (*Job, error) {
 	}
 	e.seq++
 	job := &Job{
-		ID:    fmt.Sprintf("sweep-%04d", e.seq),
-		Grid:  g.normalized(),
-		Cells: cells,
-		state: StateQueued,
+		ID:      fmt.Sprintf("sweep-%04d", e.seq),
+		Grid:    g.normalized(),
+		Cells:   cells,
+		workers: e.workers,
+		state:   StateQueued,
 	}
 	e.jobs[job.ID] = job
 	select {
@@ -154,6 +211,7 @@ func (e *Engine) Submit(g Grid) (*Job, error) {
 		return nil, fmt.Errorf("dse: %w (%d pending)", ErrQueueFull, cap(e.queue))
 	}
 	e.mu.Unlock()
+	e.met.sweepsSubmitted.Add(1)
 	return job, nil
 }
 
@@ -165,14 +223,53 @@ func (e *Engine) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// Jobs returns every accepted job sorted by id (submission order — ids
+// are zero-padded sequence numbers). Backs GET /v1/sweeps.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	out := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		out = append(out, j)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Workers returns the pool width the engine shards cells across.
+func (e *Engine) Workers() int { return e.workers }
+
+// QueueDepth returns the number of jobs waiting behind the dispatcher.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// WorkersBusy returns how many pool slots are executing a cell right now.
+func (e *Engine) WorkersBusy() int { return int(e.met.workersBusy.Load()) }
+
+// Ready reports whether the engine is accepting and executing sweeps:
+// the dispatcher is up and Close has not begun. Backs GET /readyz —
+// distinct from liveness, which is true the moment the process serves
+// HTTP.
+func (e *Engine) Ready() bool {
+	return e.started.Load() && !e.Draining()
+}
+
+// Draining reports whether Close has been called.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
 // CacheStats exposes the result cache's counters.
 func (e *Engine) CacheStats() (entries int, hits, misses uint64) {
 	return e.cache.Stats()
 }
 
 // Close drains the engine: no new submissions are accepted, every already
-// accepted job runs to completion (in-flight cells are never abandoned),
-// and Close returns once the queue is empty. Safe to call once.
+// accepted job runs to completion (in-flight cells are never abandoned,
+// and every SSE subscriber receives its job's terminal event before the
+// queue reports drained), and Close returns once the queue is empty. Safe
+// to call once.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -190,12 +287,18 @@ func (e *Engine) Close() {
 func (e *Engine) runJob(job *Job) {
 	job.mu.Lock()
 	job.state = StateRunning
+	job.started = time.Now()
+	job.cellMs = make([]float64, len(job.Cells))
+	job.publishLocked(job.started)
 	job.mu.Unlock()
 
 	fail := func(format string, args ...interface{}) {
+		e.met.sweepsFailed.Add(1)
 		job.mu.Lock()
 		job.state = StateFailed
+		job.finished = time.Now()
 		job.errs = append(job.errs, fmt.Sprintf(format, args...))
+		job.publishLocked(job.finished)
 		job.mu.Unlock()
 	}
 
@@ -224,20 +327,31 @@ func (e *Engine) runJob(job *Job) {
 	}
 
 	runFn := func(sc sim.Cell) (sim.Result, error) {
+		e.met.workersBusy.Add(1)
+		defer e.met.workersBusy.Add(-1)
 		c := job.Cells[sc.Index]
+		cellStart := time.Now()
 		res, hit, err := e.cache.Do(c.CacheKey(traceFPs[c.Workload]), func() (sim.Result, error) {
 			return sim.Run(sc.Spec)
 		})
+		ms := float64(time.Since(cellStart)) / float64(time.Millisecond)
+		job.cellMs[sc.Index] = ms // safe: one writer per index, read after completion
+		e.met.cellMs.Observe(ms)
 		if hit {
 			job.mu.Lock()
 			job.hits++
 			job.mu.Unlock()
+		} else if err == nil {
+			e.met.addCellCounters(res)
 		}
 		return res, err
 	}
-	onCell := func(sim.CellResult) {
+	onCell := func(r sim.CellResult) {
+		e.met.cellsDone.Add(1)
 		job.mu.Lock()
 		job.done++
+		job.observeCellLocked(job.cellMs[r.Cell.Index])
+		job.publishLocked(time.Now())
 		job.mu.Unlock()
 	}
 	cellResults := sim.RunCells(simCells, e.workers, runFn, onCell)
@@ -257,9 +371,12 @@ func (e *Engine) runJob(job *Job) {
 		fail("merge: %v", err)
 		return
 	}
+	e.met.sweepsDone.Add(1)
 	job.mu.Lock()
 	job.manifest = m
 	job.points = points
 	job.state = StateDone
+	job.finished = time.Now()
+	job.publishLocked(job.finished)
 	job.mu.Unlock()
 }

@@ -1,0 +1,157 @@
+package dse
+
+import (
+	"time"
+)
+
+// Progress is a Status extended with the live pacing signals the service
+// exposes at GET /v1/sweeps/{id}/progress and streams over SSE. It is
+// wall-clock-derived and therefore lives strictly outside the manifest
+// path: nothing in here is ever merged into a sweep manifest, which must
+// stay byte-identical between serial, sharded and scraped-while-running
+// executions.
+type Progress struct {
+	Status
+	// ETASeconds estimates the remaining wall time from the cell-latency
+	// EWMA and the engine's pool width. 0 until the first cell completes
+	// (no estimate yet) and once the job is terminal.
+	ETASeconds float64 `json:"eta_seconds"`
+	// ElapsedSeconds is the wall time since the job left the queue
+	// (frozen at completion). 0 while queued.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// CellMsEWMA is the exponentially weighted moving average of per-cell
+	// wall time in milliseconds (cache hits included, which is what makes
+	// resubmitted sweeps forecast near-zero ETAs).
+	CellMsEWMA float64 `json:"cell_ms_ewma"`
+}
+
+// Terminal reports whether the job has reached a final state; the SSE
+// stream emits the event carrying a terminal Progress under the "done"
+// event name and then closes.
+func (p Progress) Terminal() bool {
+	return p.State == StateDone || p.State == StateFailed
+}
+
+// ewmaAlpha weights the newest cell completion at 30%: fast enough to
+// track a sweep crossing from cache-hit cells into cold cells, smooth
+// enough that one slow outlier does not whipsaw the ETA.
+const ewmaAlpha = 0.3
+
+// progressLocked assembles the snapshot; the caller holds j.mu.
+func (j *Job) progressLocked(now time.Time) Progress {
+	p := Progress{
+		Status: Status{
+			ID:         j.ID,
+			State:      j.state,
+			CellsTotal: len(j.Cells),
+			CellsDone:  j.done,
+			CacheHits:  j.hits,
+			Errors:     append([]string(nil), j.errs...),
+		},
+		CellMsEWMA: j.ewmaMs,
+	}
+	switch {
+	case j.started.IsZero():
+		// still queued
+	case j.finished.IsZero():
+		p.ElapsedSeconds = now.Sub(j.started).Seconds()
+	default:
+		p.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	if j.state == StateRunning && j.done > 0 && j.workers > 0 {
+		remaining := len(j.Cells) - j.done
+		p.ETASeconds = float64(remaining) * (j.ewmaMs / 1e3) / float64(j.workers)
+	}
+	return p
+}
+
+// Progress returns the job's current progress snapshot.
+func (j *Job) Progress() Progress {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.progressLocked(time.Now())
+}
+
+// observeCellLocked folds one completed cell's wall time into the EWMA;
+// the caller holds j.mu.
+func (j *Job) observeCellLocked(ms float64) {
+	if j.ewmaMs == 0 {
+		j.ewmaMs = ms
+		return
+	}
+	j.ewmaMs = ewmaAlpha*ms + (1-ewmaAlpha)*j.ewmaMs
+}
+
+// publishLocked pushes the current snapshot to every subscriber; the
+// caller holds j.mu. Delivery is coalescing latest-wins: each subscriber
+// channel holds at most one pending snapshot, and a new publish replaces
+// an unread one. A terminal snapshot is always the last value delivered —
+// after it, every channel is closed and the job remembers the final
+// snapshot for late subscribers.
+func (j *Job) publishLocked(now time.Time) {
+	p := j.progressLocked(now)
+	for _, ch := range j.subs {
+		select {
+		case <-ch: // drop the stale unread snapshot
+		default:
+		}
+		select {
+		case ch <- p:
+		default: // unreachable: cap 1, just drained, publishes serialized by j.mu
+		}
+	}
+	if p.Terminal() {
+		for _, ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+		j.terminal = true
+		j.final = p
+	}
+}
+
+// subscribe registers a progress listener. The returned channel
+// immediately carries the current snapshot, then one coalesced snapshot
+// per publish, and is closed after a terminal snapshot is delivered. The
+// cancel func detaches early (idempotent, safe after close). Subscribing
+// to an already-terminal job yields the final snapshot and a closed
+// channel.
+func (j *Job) subscribe() (<-chan Progress, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal {
+		ch := make(chan Progress, 1)
+		ch <- j.final
+		close(ch)
+		return ch, func() {}
+	}
+	if j.subs == nil {
+		j.subs = map[int]chan Progress{}
+	}
+	id := j.subSeq
+	j.subSeq++
+	ch := make(chan Progress, 1)
+	ch <- j.progressLocked(time.Now())
+	j.subs[id] = ch
+	cancel := func() {
+		j.mu.Lock()
+		if c, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(c)
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Subscribe attaches a progress listener to the job with the given id
+// (see Job.subscribe for the channel contract). ok is false if no such
+// job exists.
+func (e *Engine) Subscribe(id string) (ch <-chan Progress, cancel func(), ok bool) {
+	j, found := e.Job(id)
+	if !found {
+		return nil, nil, false
+	}
+	ch, cancel = j.subscribe()
+	return ch, cancel, true
+}

@@ -11,6 +11,15 @@ import (
 // gating path: `casino-bench sweep -workers 1` runs the exact cells a
 // server sweep shards, and the manifests must be byte-identical.
 func RunGrid(g Grid, workers int) (*manifest.Manifest, []Point, error) {
+	return RunGridProgress(g, workers, nil)
+}
+
+// RunGridProgress is RunGrid with a progress observer: onCell, when
+// non-nil, is called after each completed cell with the running done
+// count and the total (calls are serialized, in completion order). The
+// observer sees wall-clock pacing only — the returned manifest is
+// byte-identical with or without it.
+func RunGridProgress(g Grid, workers int, onCell func(done, total int)) (*manifest.Manifest, []Point, error) {
 	cells, err := g.Expand()
 	if err != nil {
 		return nil, nil, err
@@ -32,7 +41,15 @@ func RunGrid(g Grid, workers int) (*manifest.Manifest, []Point, error) {
 		}
 		simCells[i] = sim.Cell{App: c.Workload, Model: c.Model, Index: i, Spec: spec}
 	}
-	cellResults := sim.RunCells(simCells, workers, nil, nil)
+	var observe func(sim.CellResult)
+	if onCell != nil {
+		done := 0
+		observe = func(sim.CellResult) {
+			done++
+			onCell(done, len(simCells))
+		}
+	}
+	cellResults := sim.RunCells(simCells, workers, nil, observe)
 	if err := sim.JoinCellErrors(cellResults); err != nil {
 		return nil, nil, err
 	}

@@ -131,6 +131,16 @@ func (r *Registry) Lookup(name string) (Metric, bool) {
 	return Metric{}, false
 }
 
+// Each calls fn for every registered metric in registration order
+// without materializing a copy of the whole set. Exposition hook: bridge
+// code (the telemetry package's service registry) walks snapshots this
+// way to translate them into externally formatted series.
+func (r *Registry) Each(fn func(Metric)) {
+	for _, name := range r.order {
+		fn(*r.m[name])
+	}
+}
+
 // Metrics returns the registered metrics in registration order.
 func (r *Registry) Metrics() []Metric {
 	out := make([]Metric, 0, len(r.order))

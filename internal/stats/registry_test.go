@@ -99,6 +99,25 @@ func TestRegistryOrderIsRegistrationOrder(t *testing.T) {
 	}
 }
 
+func TestRegistryEach(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("z", 1)
+	r.Counter("a", 2)
+	r.Gauge("m", 3)
+	var names []string
+	var vals []float64
+	r.Each(func(mt Metric) {
+		names = append(names, mt.Name)
+		vals = append(vals, mt.Value)
+	})
+	if !reflect.DeepEqual(names, []string{"z", "a", "m"}) {
+		t.Fatalf("Each order = %v, want registration order", names)
+	}
+	if !reflect.DeepEqual(vals, []float64{1, 2, 3}) {
+		t.Fatalf("Each values = %v", vals)
+	}
+}
+
 func TestRegistryFlattenSorted(t *testing.T) {
 	r := NewRegistry()
 	r.Gauge("z", 1)

@@ -107,6 +107,11 @@ func (h *Hist) AddN(v int, n uint64) {
 // Count returns the number of observations.
 func (h *Hist) Count() uint64 { return h.count }
 
+// Sum returns the sum of all observations. Values beyond the bucket
+// range contribute their true value, not the overflow bound. Exposition
+// hook: Prometheus-style renderers pair the exact _sum with Count.
+func (h *Hist) Sum() float64 { return h.sum }
+
 // Mean returns the mean observation, or 0 if empty.
 func (h *Hist) Mean() float64 {
 	if h.count == 0 {

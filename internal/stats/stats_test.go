@@ -79,6 +79,15 @@ func TestHist(t *testing.T) {
 	if h.Bucket(-1) != 0 || h.Bucket(100) != 0 {
 		t.Error("out-of-range Bucket should be 0")
 	}
+	// Sum pairs with Count for Prometheus summary exposition: overflow
+	// observations keep their true value (9, not the bucket bound), and
+	// negatives clamp to 0 exactly as Add records them.
+	if want := 0.0 + 1 + 1 + 2 + 9 + 0; h.Sum() != want {
+		t.Errorf("Sum = %v, want %v", h.Sum(), want)
+	}
+	if got := h.Sum() / float64(h.Count()); math.Abs(got-h.Mean()) > 1e-12 {
+		t.Errorf("Sum/Count = %v, Mean = %v; must agree", got, h.Mean())
+	}
 }
 
 func TestHistEmpty(t *testing.T) {

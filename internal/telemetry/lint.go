@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint strictly checks a Prometheus text exposition stream against the
+// 0.0.4 grammar and returns the number of distinct series it saw. It is
+// the in-repo scrape gate: CI curls casino-server's /metrics and feeds
+// the body through `casino-bench promlint`. Beyond the bare grammar it
+// enforces the conventions the registry emits (and that scrapers rely
+// on):
+//
+//   - every sample belongs to a family declared by a preceding # TYPE
+//     line, with at most one TYPE and one HELP per family;
+//   - summary families may only emit <name>{quantile=...}, <name>_sum,
+//     <name>_count; histograms <name>_bucket/_sum/_count; scalar kinds
+//     exactly <name>;
+//   - metric and label names match the grammar, label values use only
+//     the \\, \", \n escapes, values parse as Go floats (+Inf/-Inf/NaN
+//     included), optional timestamps parse as int64;
+//   - no series (name plus canonical label set) appears twice.
+//
+// All violations are reported, each prefixed with its 1-based line
+// number.
+func Lint(r io.Reader) (series int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	var errs []error
+	fail := func(line int, format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	typed := map[string]string{}   // family name -> TYPE
+	helped := map[string]bool{}    // family name -> HELP seen
+	seen := map[string]bool{}      // name + canonical labels -> sample seen
+	sawSample := map[string]bool{} // family name -> any sample seen
+	n := 0
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 2 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !ValidMetricName(fields[2]) {
+					fail(line, "malformed HELP line %q", text)
+					continue
+				}
+				if helped[fields[2]] {
+					fail(line, "duplicate HELP for %s", fields[2])
+				}
+				helped[fields[2]] = true
+			case "TYPE":
+				if len(fields) != 4 || !ValidMetricName(fields[2]) {
+					fail(line, "malformed TYPE line %q", text)
+					continue
+				}
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					fail(line, "unknown metric type %q for %s", fields[3], fields[2])
+					continue
+				}
+				if _, dup := typed[fields[2]]; dup {
+					fail(line, "duplicate TYPE for %s", fields[2])
+					continue
+				}
+				if sawSample[fields[2]] {
+					fail(line, "TYPE for %s after its samples", fields[2])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, rest, perr := parseSample(text)
+		if perr != nil {
+			fail(line, "%v", perr)
+			continue
+		}
+		famName, famType, ok := familyOf(name, labels, typed)
+		if !ok {
+			fail(line, "sample %s has no preceding # TYPE declaration", name)
+		} else {
+			sawSample[famName] = true
+			checkFamilyShape(name, famName, famType, labels, func(format string, args ...interface{}) {
+				fail(line, format, args...)
+			})
+		}
+		key := name + canonicalLabels(labels)
+		if seen[key] {
+			fail(line, "duplicate series %s%s", name, canonicalLabels(labels))
+		}
+		seen[key] = true
+		n++
+		if verr := checkValue(rest); verr != nil {
+			fail(line, "%v", verr)
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		errs = append(errs, serr)
+	}
+	return n, errors.Join(errs...)
+}
+
+// familyOf resolves which declared family a sample name belongs to,
+// peeling the summary/histogram suffixes.
+func familyOf(name string, labels []Label, typed map[string]string) (string, string, bool) {
+	if t, ok := typed[name]; ok {
+		return name, t, true
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := typed[base]; ok && (t == "summary" || t == "histogram") {
+			return base, t, true
+		}
+	}
+	_ = labels
+	return "", "", false
+}
+
+// checkFamilyShape enforces which sample names and labels a family of a
+// given type may emit.
+func checkFamilyShape(name, famName, famType string, labels []Label, fail func(string, ...interface{})) {
+	hasLabel := func(k string) bool {
+		for _, l := range labels {
+			if l.Name == k {
+				return true
+			}
+		}
+		return false
+	}
+	switch famType {
+	case "summary":
+		switch name {
+		case famName: // quantile series
+		case famName + "_sum", famName + "_count":
+			if hasLabel("quantile") {
+				fail("%s must not carry a quantile label", name)
+			}
+		default:
+			fail("sample %s is not a valid summary series of %s", name, famName)
+		}
+	case "histogram":
+		switch name {
+		case famName + "_bucket":
+			if !hasLabel("le") {
+				fail("%s missing required le label", name)
+			}
+		case famName, famName + "_sum", famName + "_count":
+		default:
+			fail("sample %s is not a valid histogram series of %s", name, famName)
+		}
+	default:
+		if name != famName {
+			fail("sample %s does not match its %s family %s", name, famType, famName)
+		}
+		if hasLabel("quantile") || hasLabel("le") {
+			fail("%s family %s must not use reserved quantile/le labels", famType, famName)
+		}
+	}
+}
+
+// parseSample splits a sample line into name, labels and the value(+ts)
+// remainder, validating the label grammar and escapes.
+func parseSample(text string) (string, []Label, string, error) {
+	i := 0
+	for i < len(text) && text[i] != '{' && text[i] != ' ' {
+		i++
+	}
+	name := text[:i]
+	if !ValidMetricName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []Label
+	if i < len(text) && text[i] == '{' {
+		i++ // consume '{'
+		for {
+			for i < len(text) && text[i] == ',' {
+				i++
+			}
+			if i < len(text) && text[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(text) && text[j] != '=' {
+				j++
+			}
+			if j >= len(text) {
+				return "", nil, "", fmt.Errorf("unterminated label block")
+			}
+			lname := text[i:j]
+			if !ValidLabelName(lname) {
+				return "", nil, "", fmt.Errorf("invalid label name %q", lname)
+			}
+			if j+1 >= len(text) || text[j+1] != '"' {
+				return "", nil, "", fmt.Errorf("label %s value not quoted", lname)
+			}
+			val, next, err := scanQuoted(text, j+1)
+			if err != nil {
+				return "", nil, "", fmt.Errorf("label %s: %w", lname, err)
+			}
+			labels = append(labels, Label{Name: lname, Value: val})
+			i = next
+			if i >= len(text) || (text[i] != ',' && text[i] != '}') {
+				return "", nil, "", fmt.Errorf("garbage after label %s value", lname)
+			}
+		}
+	}
+	if i >= len(text) || text[i] != ' ' {
+		return "", nil, "", fmt.Errorf("missing value separator after %q", name)
+	}
+	return name, labels, text[i+1:], nil
+}
+
+// scanQuoted consumes a double-quoted label value starting at text[open]
+// (which must be '"'), allowing only the \\, \", \n escapes, and returns
+// the decoded value plus the index just past the closing quote.
+func scanQuoted(text string, open int) (string, int, error) {
+	var b strings.Builder
+	for i := open + 1; i < len(text); i++ {
+		switch text[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(text) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch text[i+1] {
+			case '\\', '"':
+				b.WriteByte(text[i+1])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c", text[i+1])
+			}
+			i++
+		default:
+			b.WriteByte(text[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value")
+}
+
+// checkValue validates the "value [timestamp]" remainder of a sample.
+func checkValue(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("expected value with optional timestamp, got %q", rest)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+func canonicalLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ordered := append([]Label(nil), labels...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ordered {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package telemetry
+
+import "runtime"
+
+// RegisterGoRuntime adds the Go runtime family to the registry:
+// goroutine count, heap occupancy, allocation and GC totals, and a
+// go_info series carrying the toolchain version as a label. One
+// runtime.ReadMemStats snapshot per scrape feeds every memstats series
+// (registered via OnScrape so the stop-the-world read happens once, not
+// once per series).
+func (r *Registry) RegisterGoRuntime() {
+	var ms runtime.MemStats
+	r.OnScrape(func() { runtime.ReadMemStats(&ms) })
+
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(ms.HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(ms.HeapObjects) })
+	r.CounterFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		func() float64 { return float64(ms.TotalAlloc) })
+	r.CounterFunc("go_gc_cycles_total", "Number of completed GC cycles.",
+		func() float64 { return float64(ms.NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(ms.PauseTotalNs) / 1e9 })
+	r.GaugeFunc("process_cpus", "Number of logical CPUs usable by the process.",
+		func() float64 { return float64(runtime.NumCPU()) })
+	r.Gauge("go_info", "Information about the Go environment.",
+		Label{Name: "version", Value: runtime.Version()}).Set(1)
+}
