@@ -199,3 +199,38 @@ func BenchmarkTAGE(b *testing.B) {
 		p.Update(pc, rng.Intn(4) != 0)
 	}
 }
+
+// TestPredictUpdateEquivalence drives two fresh predictors with an
+// identical branch stream — one through the split Predict/Update pair, one
+// through the fused PredictUpdate — and requires bit-identical predictions,
+// counters, and post-stream behaviour. The fused path exists purely as a
+// performance fusion; any divergence is a bug.
+func TestPredictUpdateEquivalence(t *testing.T) {
+	split := NewTAGE()
+	fused := NewTAGE()
+	rng := rand.New(rand.NewSource(7))
+	pcs := make([]uint64, 64)
+	for i := range pcs {
+		pcs[i] = uint64(rng.Intn(1 << 16))
+	}
+	for i := 0; i < 300000; i++ {
+		pc := pcs[rng.Intn(len(pcs))]
+		taken := rng.Intn(3) != 0
+		a := split.Predict(pc)
+		split.Update(pc, taken)
+		b := fused.PredictUpdate(pc, taken)
+		if a != b {
+			t.Fatalf("op %d: split predicted %v, fused predicted %v", i, a, b)
+		}
+	}
+	if split.Lookups != fused.Lookups || split.Mispredicts != fused.Mispredicts {
+		t.Fatalf("counters diverged: split %d/%d, fused %d/%d",
+			split.Mispredicts, split.Lookups, fused.Mispredicts, fused.Lookups)
+	}
+	// Post-stream predictions must agree too (tables and history identical).
+	for _, pc := range pcs {
+		if split.Predict(pc) != fused.Predict(pc) {
+			t.Fatalf("post-stream prediction diverged at pc %#x", pc)
+		}
+	}
+}

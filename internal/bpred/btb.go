@@ -124,13 +124,12 @@ func Recycle(p *Predictor) {
 // branch also requires a BTB target match.
 func (p *Predictor) OnBranch(pc uint64, taken bool, target uint64) (correct bool) {
 	p.Branches++
-	predTaken := p.TAGE.Predict(pc)
 	btbTarget, btbHit := p.BTB.Lookup(pc)
+	predTaken := p.TAGE.PredictUpdate(pc, taken)
 	correct = predTaken == taken
 	if taken && correct {
 		correct = btbHit && btbTarget == target
 	}
-	p.TAGE.Update(pc, taken)
 	if taken {
 		p.BTB.Update(pc, target)
 	}

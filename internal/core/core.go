@@ -143,6 +143,14 @@ type Core struct {
 // New builds a CASINO core over the trace. It panics on an invalid Config
 // (construction-time misuse, not a runtime condition).
 func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
+	return NewAt(cfg, tr, 0, nil, hier, acct)
+}
+
+// NewAt builds a core whose frontend starts at trace position start with an
+// injected (possibly pre-trained) branch predictor; pred == nil allocates a
+// fresh one. The sampled-simulation driver uses it to open detailed windows
+// mid-trace against warmed shared state.
+func NewAt(cfg Config, tr *trace.Trace, start int, pred *bpred.Predictor, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -186,9 +194,14 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	}
 	c.queues[nq-1] = newOpRing(cfg.IQSize)
 	acct.FrontendScale = 1.4 // 9-stage pipeline vs the 7-stage InO
+	rd := tr.Reader()
+	rd.Seek(start)
+	if pred == nil {
+		pred = bpred.NewPredictor()
+	}
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
-		tr.Reader(), bpred.NewPredictor(), hier, acct)
+		rd, pred, hier, acct)
 	c.fe.SetWakeQueue(c.wq)
 
 	siqEntries := cfg.SIQSize + cfg.MidSIQs*cfg.MidSIQSize

@@ -41,16 +41,19 @@ type Job struct {
 	mu       sync.Mutex
 	state    string
 	done     int
+	total    int // cells across phases; 0 until running (then >= len(Cells))
+	sampled  int // cells executed at sampled fidelity (phase one)
+	promoted int // sampled cells promoted to a full-fidelity re-run
 	hits     int
 	errs     []string
 	manifest *manifest.Manifest
 	points   []Point
 
 	// Progress/telemetry state (wall-clock; never merged into manifests).
+	// Per-cell wall times live in each phase's local slice (see runPhase).
 	started  time.Time
 	finished time.Time
 	ewmaMs   float64
-	cellMs   []float64 // per-cell wall ms; cellMs[i] written before cell i's onCell
 
 	// SSE subscriptions (see progress.go).
 	subs     map[int]chan Progress
@@ -60,27 +63,47 @@ type Job struct {
 }
 
 // Status is a point-in-time snapshot of a job, shaped for the HTTP API.
+// On a sampled-first sweep CellsTotal covers both phases; it grows from
+// the expansion count to expansion+promoted once the promotion set is
+// known (mid-run), mirroring how the work itself is discovered.
 type Status struct {
-	ID         string   `json:"id"`
-	State      string   `json:"state"`
-	CellsTotal int      `json:"cells_total"`
-	CellsDone  int      `json:"cells_done"`
-	CacheHits  int      `json:"cache_hits"`
-	Errors     []string `json:"errors,omitempty"`
+	ID            string   `json:"id"`
+	State         string   `json:"state"`
+	CellsTotal    int      `json:"cells_total"`
+	CellsDone     int      `json:"cells_done"`
+	SampledCells  int      `json:"sampled_cells,omitempty"`
+	PromotedCells int      `json:"promoted_cells,omitempty"`
+	CacheHits     int      `json:"cache_hits"`
+	Errors        []string `json:"errors,omitempty"`
+}
+
+// totalLocked is the job's cross-phase cell count; the caller holds j.mu.
+func (j *Job) totalLocked() int {
+	if j.total > 0 {
+		return j.total
+	}
+	return len(j.Cells)
+}
+
+// statusLocked assembles the snapshot; the caller holds j.mu.
+func (j *Job) statusLocked() Status {
+	return Status{
+		ID:            j.ID,
+		State:         j.state,
+		CellsTotal:    j.totalLocked(),
+		CellsDone:     j.done,
+		SampledCells:  j.sampled,
+		PromotedCells: j.promoted,
+		CacheHits:     j.hits,
+		Errors:        append([]string(nil), j.errs...),
+	}
 }
 
 // Snapshot returns the job's current status.
 func (j *Job) Snapshot() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return Status{
-		ID:         j.ID,
-		State:      j.state,
-		CellsTotal: len(j.Cells),
-		CellsDone:  j.done,
-		CacheHits:  j.hits,
-		Errors:     append([]string(nil), j.errs...),
-	}
+	return j.statusLocked()
 }
 
 // Manifest returns the merged sweep manifest, or false while the job has
@@ -112,6 +135,8 @@ type engineMetrics struct {
 	sweepsDone      atomic.Uint64
 	sweepsFailed    atomic.Uint64
 	cellsDone       atomic.Uint64
+	sampledCells    atomic.Uint64
+	promotedCells   atomic.Uint64
 	workersBusy     atomic.Int64
 
 	simCycles       atomic.Uint64
@@ -283,12 +308,15 @@ func (e *Engine) Close() {
 	<-e.drained
 }
 
-// runJob executes one job's cells on the worker pool.
+// runJob executes one job's cells on the worker pool. A full-fidelity job
+// is a single phase; a sampled-first job runs every cell sampled, promotes
+// the PromoteSet survivors, re-runs those at full fidelity, and reports
+// only the full-fidelity points — the merged manifest keeps both phases.
 func (e *Engine) runJob(job *Job) {
 	job.mu.Lock()
 	job.state = StateRunning
 	job.started = time.Now()
-	job.cellMs = make([]float64, len(job.Cells))
+	job.total = len(job.Cells)
 	job.publishLocked(job.started)
 	job.mu.Unlock()
 
@@ -316,26 +344,83 @@ func (e *Engine) runJob(job *Job) {
 		traceFPs[w] = tr.Fingerprint()
 	}
 
-	simCells := make([]sim.Cell, len(job.Cells))
-	for i, c := range job.Cells {
-		spec, err := c.Spec()
+	results, err := e.runPhase(job, job.Cells, traceFPs)
+	if err != nil {
+		fail("%v", err)
+		return
+	}
+	points := make([]Point, len(results))
+	for i, r := range results {
+		points[i] = pointOf(job.Cells[i], r)
+	}
+
+	allCells, allResults := job.Cells, results
+	if job.Grid.Sampling != nil {
+		promoted := PromoteSet(points)
+		full := make([]Cell, len(promoted))
+		for i, idx := range promoted {
+			full[i] = job.Cells[idx].Promote()
+		}
+		e.met.sampledCells.Add(uint64(len(job.Cells)))
+		e.met.promotedCells.Add(uint64(len(full)))
+		job.mu.Lock()
+		job.sampled = len(job.Cells)
+		job.promoted = len(full)
+		job.total = len(job.Cells) + len(full)
+		job.publishLocked(time.Now())
+		job.mu.Unlock()
+
+		fullResults, err := e.runPhase(job, full, traceFPs)
 		if err != nil {
 			fail("%v", err)
 			return
 		}
+		points = make([]Point, len(full))
+		for i, r := range fullResults {
+			points[i] = pointOf(full[i], r)
+		}
+		allCells = append(append([]Cell(nil), job.Cells...), full...)
+		allResults = append(append([]sim.Result(nil), results...), fullResults...)
+	}
+
+	m, err := MergeCells(allCells, allResults, traceFPs)
+	if err != nil {
+		fail("merge: %v", err)
+		return
+	}
+	e.met.sweepsDone.Add(1)
+	job.mu.Lock()
+	job.manifest = m
+	job.points = points
+	job.state = StateDone
+	job.finished = time.Now()
+	job.publishLocked(job.finished)
+	job.mu.Unlock()
+}
+
+// runPhase shards one phase's cells across the pool through the result
+// cache and returns their results in cell order.
+func (e *Engine) runPhase(job *Job, cells []Cell, traceFPs map[string]uint64) ([]sim.Result, error) {
+	simCells := make([]sim.Cell, len(cells))
+	for i, c := range cells {
+		spec, err := c.Spec()
+		if err != nil {
+			return nil, err
+		}
 		simCells[i] = sim.Cell{App: c.Workload, Model: c.Model, Index: i, Spec: spec}
 	}
 
+	cellMs := make([]float64, len(cells))
 	runFn := func(sc sim.Cell) (sim.Result, error) {
 		e.met.workersBusy.Add(1)
 		defer e.met.workersBusy.Add(-1)
-		c := job.Cells[sc.Index]
+		c := cells[sc.Index]
 		cellStart := time.Now()
 		res, hit, err := e.cache.Do(c.CacheKey(traceFPs[c.Workload]), func() (sim.Result, error) {
 			return sim.Run(sc.Spec)
 		})
 		ms := float64(time.Since(cellStart)) / float64(time.Millisecond)
-		job.cellMs[sc.Index] = ms // safe: one writer per index, read after completion
+		cellMs[sc.Index] = ms // safe: one writer per index, read after completion
 		e.met.cellMs.Observe(ms)
 		if hit {
 			job.mu.Lock()
@@ -350,33 +435,17 @@ func (e *Engine) runJob(job *Job) {
 		e.met.cellsDone.Add(1)
 		job.mu.Lock()
 		job.done++
-		job.observeCellLocked(job.cellMs[r.Cell.Index])
+		job.observeCellLocked(cellMs[r.Cell.Index])
 		job.publishLocked(time.Now())
 		job.mu.Unlock()
 	}
 	cellResults := sim.RunCells(simCells, e.workers, runFn, onCell)
-
 	if err := sim.JoinCellErrors(cellResults); err != nil {
-		fail("%v", err)
-		return
+		return nil, err
 	}
 	results := make([]sim.Result, len(cellResults))
-	points := make([]Point, len(cellResults))
 	for i, r := range cellResults {
 		results[i] = r.Result
-		points[i] = pointOf(job.Cells[i], r.Result)
 	}
-	m, err := MergeCells(job.Cells, results, traceFPs)
-	if err != nil {
-		fail("merge: %v", err)
-		return
-	}
-	e.met.sweepsDone.Add(1)
-	job.mu.Lock()
-	job.manifest = m
-	job.points = points
-	job.state = StateDone
-	job.finished = time.Now()
-	job.publishLocked(job.finished)
-	job.mu.Unlock()
+	return results, nil
 }

@@ -52,6 +52,15 @@ type Grid struct {
 	ROBSizes []int `json:"rob_sizes,omitempty"`
 	// OSCAWidths sweeps the OSCA filter size (casino only; power of two).
 	OSCAWidths []int `json:"osca_widths,omitempty"`
+
+	// Sampling, when non-nil, runs the sweep sampled-first: every cell
+	// executes at sampled fidelity (zero-valued geometry fields select the
+	// sim defaults), then the per-workload Pareto frontier plus every
+	// CI-overlap candidate is promoted and re-run at full fidelity. The
+	// final Pareto points come exclusively from the promoted full-fidelity
+	// cells; the merged manifest carries both phases (sampled cells under
+	// "@sampled" keys).
+	Sampling *sim.Sampling `json:"sampling,omitempty"`
 }
 
 // dims says which sweep axes a model has. Inapplicable axes collapse to
@@ -129,6 +138,11 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("dse: osca_widths value %d: must be a positive power of two", v)
 		}
 	}
+	if g.Sampling != nil {
+		if err := g.Sampling.Check(); err != nil {
+			return fmt.Errorf("dse: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -149,6 +163,19 @@ type Cell struct {
 	Ops    int   `json:"ops"`
 	Warmup int   `json:"warmup"`
 	Seed   int64 `json:"seed"`
+
+	// Sampling marks the cell's fidelity: nil runs the full model over the
+	// whole region, non-nil runs sampled simulation with this (normalized)
+	// geometry. Fidelity is part of the cell's identity — key, fingerprint
+	// and cache entries of the two fidelities never collide.
+	Sampling *sim.Sampling `json:"sampling,omitempty"`
+}
+
+// Promote returns the cell's full-fidelity twin: identical axes with the
+// sampling geometry stripped. Promoting a full-fidelity cell is a no-op.
+func (c Cell) Promote() Cell {
+	c.Sampling = nil
+	return c
 }
 
 // Key is the cell's stable identity within a sweep:
@@ -173,6 +200,12 @@ func (c Cell) Key() string {
 	if len(parts) > 0 {
 		key += "[" + strings.Join(parts, ",") + "]"
 	}
+	if c.Sampling != nil {
+		// Fidelity is identity: a sampled estimate of a design point and
+		// its full-fidelity run are different measurements and must never
+		// share a metric prefix or provenance key.
+		key += "@sampled"
+	}
 	return key
 }
 
@@ -182,6 +215,13 @@ func (c Cell) Key() string {
 func (c Cell) SpecFingerprint() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|ops=%d|warmup=%d|seed=%d", c.Key(), c.Ops, c.Warmup, c.Seed)
+	if c.Sampling != nil {
+		// The key only says "@sampled"; the fingerprint pins the exact
+		// normalized geometry so two different samplings of the same design
+		// point never share a cache entry.
+		sp := c.Sampling.Normalized()
+		fmt.Fprintf(h, "|sampling=%d/%d/%d", sp.Period, sp.DetailOps, sp.WarmOps)
+	}
 	return h.Sum64()
 }
 
@@ -203,6 +243,10 @@ func (c Cell) Spec() (sim.Spec, error) {
 		Ops:      c.Ops,
 		Warmup:   c.Warmup,
 		Seed:     c.Seed,
+	}
+	if c.Sampling != nil {
+		sp := c.Sampling.Normalized()
+		s.Sampling = &sp
 	}
 	switch c.Model {
 	case sim.ModelCASINO:
@@ -280,7 +324,9 @@ func (c Cell) Spec() (sim.Spec, error) {
 // order: workload-major, then model in grid order, then geometry, IQ, SB,
 // ROB, OSCA — each axis restricted to the models that have it and
 // deduplicated, so the cell list (and therefore cache keys, manifest
-// provenance and shard ordering) is a pure function of the grid.
+// provenance and shard ordering) is a pure function of the grid. A grid
+// with Sampling set expands to sampled-fidelity cells (phase one of a
+// sampled-first sweep); promotion derives the full-fidelity re-runs.
 func (g Grid) Expand() ([]Cell, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -314,6 +360,10 @@ func (g Grid) Expand() ([]Cell, error) {
 									WS: geo[0], SO: geo[1],
 									IQ: iq, SB: sb, ROB: rob, OSCA: osca,
 									Ops: n.Ops, Warmup: n.Warmup, Seed: n.Seed,
+								}
+								if n.Sampling != nil {
+									sp := n.Sampling.Normalized()
+									c.Sampling = &sp
 								}
 								if key := c.Key(); !seen[key] {
 									seen[key] = true

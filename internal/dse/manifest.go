@@ -37,6 +37,13 @@ func CellManifest(c Cell, r sim.Result, traceFP uint64) *manifest.Manifest {
 	m.Metrics[p+"energy_per_inst_pj"] = r.EnergyPerInst
 	m.Metrics[p+"perf_per_energy"] = r.PerfPerEnergy
 	m.Metrics[p+"area_mm2"] = r.AreaMM2
+	if r.Sampled != nil {
+		// Sampled cells (key suffix "@sampled") additionally publish the
+		// statistical quality of their estimate.
+		m.Metrics[p+"ipc_ci95"] = r.Sampled.IPCCI95
+		m.Metrics[p+"windows"] = float64(r.Sampled.Windows)
+		m.Metrics[p+"detail_fraction"] = r.Sampled.DetailFraction
+	}
 	return m
 }
 

@@ -16,11 +16,18 @@ type Point struct {
 	IPC           float64 `json:"ipc"`
 	EnergyPerInst float64 `json:"energy_per_inst_pj"`
 	PerfPerEnergy float64 `json:"perf_per_energy"`
+
+	// Sampled marks an estimate from sampled fidelity; IPCCI95 is then the
+	// half-width of its 95% confidence interval (0 for full fidelity).
+	// Final sweep results never carry Sampled points — the sampled phase
+	// only decides what gets promoted.
+	Sampled bool    `json:"sampled,omitempty"`
+	IPCCI95 float64 `json:"ipc_ci95,omitempty"`
 }
 
 // pointOf projects a cell's result onto the Pareto plane.
 func pointOf(c Cell, r sim.Result) Point {
-	return Point{
+	p := Point{
 		Cell:          c.Key(),
 		Model:         c.Model,
 		Workload:      c.Workload,
@@ -28,6 +35,11 @@ func pointOf(c Cell, r sim.Result) Point {
 		EnergyPerInst: r.EnergyPerInst,
 		PerfPerEnergy: r.PerfPerEnergy,
 	}
+	if r.Sampled != nil {
+		p.Sampled = true
+		p.IPCCI95 = r.Sampled.IPCCI95
+	}
+	return p
 }
 
 // Frontier returns the Pareto-optimal subset of points: a point survives
@@ -67,6 +79,48 @@ func Frontier(points []Point) []Point {
 		}
 		return out[i].Cell < out[j].Cell
 	})
+	return out
+}
+
+// PromoteSet selects which cells of a sampled phase must be re-run at
+// full fidelity, by index into points. Frontiers are per workload
+// (cross-workload IPCs are not comparable): a point is promoted unless
+// some other point of its workload dominates it even after crediting the
+// point's IPC with its full 95% confidence interval (energy is compared
+// at face value — the energy estimate has no CI, it extrapolates
+// deterministically from the windows). That promotes the sampled Pareto
+// frontier plus every CI-overlap candidate — any point the sample cannot
+// statistically rule off the frontier — and demotes only points dominated
+// beyond their own error bar. Indexes are returned ascending, so the
+// promoted cell list inherits the expansion's deterministic order.
+func PromoteSet(points []Point) []int {
+	byWorkload := map[string][]int{}
+	for i, p := range points {
+		byWorkload[p.Workload] = append(byWorkload[p.Workload], i)
+	}
+	var out []int
+	for _, idxs := range byWorkload {
+		for _, i := range idxs {
+			p := points[i]
+			credit := p.IPC + p.IPCCI95
+			dominated := false
+			for _, j := range idxs {
+				if j == i {
+					continue
+				}
+				q := points[j]
+				if q.IPC >= credit && q.EnergyPerInst <= p.EnergyPerInst &&
+					(q.IPC > credit || q.EnergyPerInst < p.EnergyPerInst) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out = append(out, i)
+			}
+		}
+	}
+	sort.Ints(out)
 	return out
 }
 

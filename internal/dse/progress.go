@@ -40,14 +40,7 @@ const ewmaAlpha = 0.3
 // progressLocked assembles the snapshot; the caller holds j.mu.
 func (j *Job) progressLocked(now time.Time) Progress {
 	p := Progress{
-		Status: Status{
-			ID:         j.ID,
-			State:      j.state,
-			CellsTotal: len(j.Cells),
-			CellsDone:  j.done,
-			CacheHits:  j.hits,
-			Errors:     append([]string(nil), j.errs...),
-		},
+		Status:     j.statusLocked(),
 		CellMsEWMA: j.ewmaMs,
 	}
 	switch {
@@ -59,7 +52,9 @@ func (j *Job) progressLocked(now time.Time) Progress {
 		p.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
 	}
 	if j.state == StateRunning && j.done > 0 && j.workers > 0 {
-		remaining := len(j.Cells) - j.done
+		// On a sampled-first sweep the total covers both phases once the
+		// promotion set is known; before that the ETA tracks phase one.
+		remaining := j.totalLocked() - j.done
 		p.ETASeconds = float64(remaining) * (j.ewmaMs / 1e3) / float64(j.workers)
 	}
 	return p

@@ -5,6 +5,13 @@ import (
 	"casino/internal/sim"
 )
 
+// SweepStats counts the sampled-first execution of a sweep; zero-valued
+// when the grid ran at full fidelity throughout.
+type SweepStats struct {
+	SampledCells  int `json:"sampled_cells,omitempty"`
+	PromotedCells int `json:"promoted_cells,omitempty"`
+}
+
 // RunGrid executes the grid synchronously on a pool of `workers`
 // goroutines (1 = strictly serial, <= 0 = all CPUs) with no result cache,
 // returning the merged sweep manifest and every design point. It is the
@@ -16,52 +23,103 @@ func RunGrid(g Grid, workers int) (*manifest.Manifest, []Point, error) {
 
 // RunGridProgress is RunGrid with a progress observer: onCell, when
 // non-nil, is called after each completed cell with the running done
-// count and the total (calls are serialized, in completion order). The
-// observer sees wall-clock pacing only — the returned manifest is
+// count and the total (calls are serialized, in completion order; on a
+// sampled-first sweep the total grows once the promotion set is known).
+// The observer sees wall-clock pacing only — the returned manifest is
 // byte-identical with or without it.
 func RunGridProgress(g Grid, workers int, onCell func(done, total int)) (*manifest.Manifest, []Point, error) {
+	m, pts, _, err := RunGridStats(g, workers, onCell)
+	return m, pts, err
+}
+
+// RunGridStats is RunGridProgress plus the sampled-first execution
+// counters. A full-fidelity grid runs in one phase. A grid with Sampling
+// set runs two: every cell at sampled fidelity, then the PromoteSet
+// survivors (per-workload Pareto frontier plus CI-overlap candidates)
+// re-run at full fidelity. The returned points come exclusively from the
+// final full-fidelity phase — a sampled estimate can steer the search but
+// never stands in a reported frontier — while the manifest merges both
+// phases (sampled cells under their "@sampled" keys).
+func RunGridStats(g Grid, workers int, onCell func(done, total int)) (*manifest.Manifest, []Point, SweepStats, error) {
 	cells, err := g.Expand()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, SweepStats{}, err
 	}
 	ng := g.normalized()
 	traceFPs := map[string]uint64{}
 	for _, w := range ng.sortedWorkloads() {
 		tr, err := sim.SharedTrace(w, ng.Warmup+ng.Ops, ng.Seed)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, SweepStats{}, err
 		}
 		traceFPs[w] = tr.Fingerprint()
 	}
+
+	done, total := 0, len(cells)
+	observe := func(sim.CellResult) {
+		done++
+		if onCell != nil {
+			onCell(done, total)
+		}
+	}
+
+	results, err := runCellList(cells, workers, observe)
+	if err != nil {
+		return nil, nil, SweepStats{}, err
+	}
+	points := make([]Point, len(results))
+	for i, r := range results {
+		points[i] = pointOf(cells[i], r)
+	}
+
+	var stats SweepStats
+	allCells, allResults := cells, results
+	if g.Sampling != nil {
+		promoted := PromoteSet(points)
+		stats.SampledCells = len(cells)
+		stats.PromotedCells = len(promoted)
+		full := make([]Cell, len(promoted))
+		for i, idx := range promoted {
+			full[i] = cells[idx].Promote()
+		}
+		total += len(full)
+		fullResults, err := runCellList(full, workers, observe)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		points = make([]Point, len(full))
+		for i, r := range fullResults {
+			points[i] = pointOf(full[i], r)
+		}
+		allCells = append(append([]Cell(nil), cells...), full...)
+		allResults = append(append([]sim.Result(nil), results...), fullResults...)
+	}
+
+	m, err := MergeCells(allCells, allResults, traceFPs)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	return m, points, stats, nil
+}
+
+// runCellList runs one phase's cells through the sharded cell runner and
+// collects their results in cell order.
+func runCellList(cells []Cell, workers int, observe func(sim.CellResult)) ([]sim.Result, error) {
 	simCells := make([]sim.Cell, len(cells))
 	for i, c := range cells {
 		spec, err := c.Spec()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		simCells[i] = sim.Cell{App: c.Workload, Model: c.Model, Index: i, Spec: spec}
 	}
-	var observe func(sim.CellResult)
-	if onCell != nil {
-		done := 0
-		observe = func(sim.CellResult) {
-			done++
-			onCell(done, len(simCells))
-		}
-	}
 	cellResults := sim.RunCells(simCells, workers, nil, observe)
 	if err := sim.JoinCellErrors(cellResults); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	results := make([]sim.Result, len(cellResults))
-	points := make([]Point, len(cellResults))
 	for i, r := range cellResults {
 		results[i] = r.Result
-		points[i] = pointOf(cells[i], r.Result)
 	}
-	m, err := MergeCells(cells, results, traceFPs)
-	if err != nil {
-		return nil, nil, err
-	}
-	return m, points, nil
+	return results, nil
 }

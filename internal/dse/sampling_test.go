@@ -1,0 +1,236 @@
+package dse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"casino/internal/sim"
+)
+
+// sampledGrid is a small sampled-first sweep: enough ops for several
+// detailed windows per cell so the CI is non-degenerate, three models so
+// each workload's frontier has something to demote.
+func sampledGrid(apps ...string) Grid {
+	return Grid{
+		Models:    []string{"ino", "casino", "ooo"},
+		Workloads: apps,
+		Ops:       6000,
+		Warmup:    600,
+		Seed:      1,
+		Sampling:  &sim.Sampling{Period: 600, DetailOps: 150, WarmOps: 60},
+	}
+}
+
+// TestPromoteSet pins the promotion policy on hand-built points: the
+// frontier always promotes, a dominated point stays demoted, and a CI
+// wide enough to reach the frontier rescues an otherwise-dominated point.
+// Workloads are independent.
+func TestPromoteSet(t *testing.T) {
+	pts := []Point{
+		{Cell: "a", Workload: "w1", IPC: 2.0, EnergyPerInst: 1.0},                // frontier
+		{Cell: "b", Workload: "w1", IPC: 1.0, EnergyPerInst: 2.0},                // dominated by a
+		{Cell: "c", Workload: "w1", IPC: 1.95, EnergyPerInst: 1.5, IPCCI95: 0.1}, // CI overlaps a
+		{Cell: "d", Workload: "w1", IPC: 1.0, EnergyPerInst: 0.5},                // frontier (cheapest)
+		{Cell: "e", Workload: "w2", IPC: 0.5, EnergyPerInst: 3.0},                // alone in w2
+	}
+	got := PromoteSet(pts)
+	want := []int{0, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("PromoteSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PromoteSet = %v, want %v", got, want)
+		}
+	}
+
+	// Widen b's CI until it reaches a's IPC: now nothing can rule it off
+	// the frontier and it must be promoted too.
+	pts[1].IPCCI95 = 1.5
+	got = PromoteSet(pts)
+	if len(got) != 5 {
+		t.Fatalf("PromoteSet with wide CI = %v, want all five", got)
+	}
+}
+
+// TestSampledFidelityIsCellIdentity: fidelity must split keys, spec
+// fingerprints and cache keys, and Promote must restore the full-fidelity
+// identity exactly.
+func TestSampledFidelityIsCellIdentity(t *testing.T) {
+	full := Cell{Workload: "mcf", Model: "casino", Ops: 6000, Warmup: 600, Seed: 1}
+	samp := full
+	samp.Sampling = &sim.Sampling{}
+	if !strings.HasSuffix(samp.Key(), "@sampled") {
+		t.Errorf("sampled key %q lacks @sampled suffix", samp.Key())
+	}
+	if samp.Key() == full.Key() {
+		t.Error("sampled and full cells share a key")
+	}
+	if samp.SpecFingerprint() == full.SpecFingerprint() {
+		t.Error("sampled and full cells share a spec fingerprint")
+	}
+	// Two geometries of the same design point are different measurements.
+	samp2 := full
+	samp2.Sampling = &sim.Sampling{Period: 600, DetailOps: 150, WarmOps: 60}
+	if samp2.SpecFingerprint() == samp.SpecFingerprint() {
+		t.Error("different sampling geometries share a spec fingerprint")
+	}
+	// The default geometry and its explicit normalized form are the same
+	// measurement and must share a cache entry.
+	samp3 := full
+	sp := sim.Sampling{}.Normalized()
+	samp3.Sampling = &sp
+	if samp3.SpecFingerprint() != samp.SpecFingerprint() {
+		t.Error("zero geometry and its normalized form fingerprint differently")
+	}
+	if got := samp.Promote(); got.Key() != full.Key() || got.Sampling != nil {
+		t.Errorf("Promote() = %+v, want full-fidelity twin", got)
+	}
+	spec, err := samp.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Sampling == nil {
+		t.Error("sampled cell built a full-fidelity spec")
+	}
+}
+
+// TestSampledSweepPromotesToFull is the acceptance property of the
+// fidelity axis: a sampled-first sweep reports final points exclusively
+// from promoted full-fidelity cells, while its manifest carries both
+// phases under disjoint key namespaces.
+func TestSampledSweepPromotesToFull(t *testing.T) {
+	g := sampledGrid("mcf", "gcc")
+	m, points, stats, err := RunGridStats(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SampledCells != 6 { // 3 models × 2 workloads
+		t.Errorf("SampledCells = %d, want 6", stats.SampledCells)
+	}
+	if stats.PromotedCells < 2 || stats.PromotedCells > stats.SampledCells {
+		t.Errorf("PromotedCells = %d, want within [2,%d]", stats.PromotedCells, stats.SampledCells)
+	}
+	if len(points) != stats.PromotedCells {
+		t.Errorf("%d final points, want one per promoted cell (%d)", len(points), stats.PromotedCells)
+	}
+	byWorkload := map[string]int{}
+	for _, p := range points {
+		if p.Sampled || p.IPCCI95 != 0 {
+			t.Errorf("final point %s is sampled-fidelity: %+v", p.Cell, p)
+		}
+		if strings.Contains(p.Cell, "@sampled") {
+			t.Errorf("final point key %q carries the sampled namespace", p.Cell)
+		}
+		byWorkload[p.Workload]++
+	}
+	for _, w := range []string{"mcf", "gcc"} {
+		if byWorkload[w] == 0 {
+			t.Errorf("workload %s promoted no cells", w)
+		}
+	}
+	var sampledMetrics, fullMetrics int
+	for k := range m.Metrics {
+		if strings.Contains(k, "@sampled") {
+			sampledMetrics++
+		} else {
+			fullMetrics++
+		}
+	}
+	if sampledMetrics == 0 || fullMetrics == 0 {
+		t.Errorf("manifest namespaces: %d sampled / %d full metrics, want both non-zero",
+			sampledMetrics, fullMetrics)
+	}
+	if want := stats.SampledCells + stats.PromotedCells; len(m.Cells) != want {
+		t.Errorf("manifest has %d cells, want %d (both phases)", len(m.Cells), want)
+	}
+	for _, p := range points {
+		if _, ok := m.Metrics["cell."+p.Cell+".ipc"]; !ok {
+			t.Errorf("manifest missing full-fidelity metrics for promoted cell %s", p.Cell)
+		}
+		if _, ok := m.Metrics["cell."+p.Cell+"@sampled.ipc_ci95"]; !ok {
+			t.Errorf("manifest missing sampled-phase CI for promoted cell %s", p.Cell)
+		}
+	}
+}
+
+// TestSampledSweepDeterminism: the whole two-phase pipeline — sampled
+// runs, promotion, full re-runs, merge — must be byte-identical between
+// serial and sharded execution.
+func TestSampledSweepDeterminism(t *testing.T) {
+	g := sampledGrid("mcf")
+	serial, pSerial, _, err := RunGridStats(g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, pSharded, _, err := RunGridStats(g, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeManifest(t, serial), encodeManifest(t, sharded)) {
+		t.Error("serial and sharded sampled-sweep manifests are not byte-identical")
+	}
+	if len(pSerial) != len(pSharded) {
+		t.Fatalf("point counts differ: %d vs %d", len(pSerial), len(pSharded))
+	}
+	for i := range pSerial {
+		if pSerial[i] != pSharded[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, pSerial[i], pSharded[i])
+		}
+	}
+}
+
+// TestSampledSweepEngine runs the sampled-first path through the engine:
+// status counters cover both phases, the manifest matches the serial
+// runner bit-for-bit, and the job's points are full-fidelity only.
+func TestSampledSweepEngine(t *testing.T) {
+	g := sampledGrid("mcf")
+	serial, pSerial, stats, err := RunGridStats(g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEngine(4, 0)
+	defer e.Close()
+	job, err := e.Submit(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, job)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %+v", st)
+	}
+	if st.SampledCells != stats.SampledCells || st.PromotedCells != stats.PromotedCells {
+		t.Errorf("status phases = %d/%d, want %d/%d",
+			st.SampledCells, st.PromotedCells, stats.SampledCells, stats.PromotedCells)
+	}
+	if want := stats.SampledCells + stats.PromotedCells; st.CellsDone != want || st.CellsTotal != want {
+		t.Errorf("status cells = %d/%d, want %d/%d", st.CellsDone, st.CellsTotal, want, want)
+	}
+	m, ok := job.Manifest()
+	if !ok {
+		t.Fatal("no manifest on done job")
+	}
+	if !bytes.Equal(encodeManifest(t, serial), encodeManifest(t, m)) {
+		t.Error("engine sampled-sweep manifest differs from serial runner")
+	}
+	pts, ok := job.Points()
+	if !ok {
+		t.Fatal("no points on done job")
+	}
+	if len(pts) != len(pSerial) {
+		t.Fatalf("engine points %d, serial %d", len(pts), len(pSerial))
+	}
+	for i := range pts {
+		if pts[i] != pSerial[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, pts[i], pSerial[i])
+		}
+	}
+	if e.met.sampledCells.Load() != uint64(stats.SampledCells) ||
+		e.met.promotedCells.Load() != uint64(stats.PromotedCells) {
+		t.Errorf("engine counters = %d/%d, want %d/%d",
+			e.met.sampledCells.Load(), e.met.promotedCells.Load(),
+			stats.SampledCells, stats.PromotedCells)
+	}
+}

@@ -21,6 +21,8 @@ import (
 //	casino_sweeps_submitted_total   counter: accepted submissions
 //	casino_sweeps_completed_total   counter: by terminal state {state="done"|"failed"}
 //	casino_cells_completed_total    counter: cells finished (hits included)
+//	casino_sampled_cells_total      counter: cells run at sampled fidelity
+//	casino_promoted_cells_total     counter: sampled cells promoted to full
 //	casino_result_cache_entries     gauge:   resident results
 //	casino_result_cache_hits_total  counter: simulations avoided
 //	casino_result_cache_misses_total counter: simulations performed
@@ -63,6 +65,12 @@ func NewTelemetry(e *Engine) *telemetry.Registry {
 	r.CounterFunc("casino_cells_completed_total",
 		"Sweep cells completed (cache hits included).",
 		func() float64 { return float64(e.met.cellsDone.Load()) })
+	r.CounterFunc("casino_sampled_cells_total",
+		"Sweep cells executed at sampled fidelity (phase one of sampled-first sweeps).",
+		func() float64 { return float64(e.met.sampledCells.Load()) })
+	r.CounterFunc("casino_promoted_cells_total",
+		"Sampled cells promoted to a full-fidelity re-run (Pareto or CI-overlap survivors).",
+		func() float64 { return float64(e.met.promotedCells.Load()) })
 
 	r.GaugeFunc("casino_result_cache_entries",
 		"Results resident in the spec+trace fingerprint cache.",

@@ -97,7 +97,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"casino_engine_worker_utilization", "casino_sweeps_submitted_total",
 		`casino_sweeps_completed_total{state="done"}`,
 		`casino_sweeps_completed_total{state="failed"}`,
-		"casino_cells_completed_total", "casino_result_cache_entries",
+		"casino_cells_completed_total", "casino_sampled_cells_total",
+		"casino_promoted_cells_total", "casino_result_cache_entries",
 		"casino_result_cache_hits_total", "casino_result_cache_misses_total",
 		"casino_sim_cycles_total", "casino_sim_instructions_total",
 		"casino_eventq_wakeups_total", "casino_eventq_coalesced_total",

@@ -168,6 +168,20 @@ func (a *Accountant) Register(s Structure) int {
 	return len(a.structs) - 1
 }
 
+// Rewind clears every registration and count while keeping the underlying
+// capacity, so one accountant can serve the per-window model rebuilds of a
+// sampled run without reallocating its tables each window. A rewound
+// accountant is indistinguishable from a fresh one.
+func (a *Accountant) Rewind() {
+	a.structs = a.structs[:0]
+	clear(a.index)
+	a.counts = a.counts[:0]
+	a.IntOps, a.FPOps, a.AGUOps = 0, 0, 0
+	a.Frontend, a.BpredOps, a.L1Access, a.Cycles = 0, 0, 0, 0
+	a.FrontendScale = 0
+	a.snap = deltaSnap{counts: a.snap.counts[:0]}
+}
+
 // Inc counts n events of kind k on structure handle h.
 func (a *Accountant) Inc(h int, k EventKind, n uint64) {
 	a.counts[h*int(numKinds)+int(k)] += n
@@ -305,6 +319,27 @@ func (a *Accountant) EnergyBreakdown() map[string]float64 {
 	out["L1"] = float64(a.L1Access) * l1AccessPJ
 	out["Leakage"] = a.StaticEnergy()
 	return out
+}
+
+// AccumulateEnergy adds this accountant's EnergyBreakdown into dst without
+// allocating a fresh map (hot in sampled mode: one call per window).
+func (a *Accountant) AccumulateEnergy(dst map[string]float64) {
+	for i, s := range a.structs {
+		var e float64
+		for k := EventKind(0); k < numKinds; k++ {
+			e += float64(a.Count(i, k)) * s.AccessEnergy(k)
+		}
+		dst[s.Name] += e
+	}
+	dst["FUs"] += float64(a.IntOps)*fuIntPJ + float64(a.FPOps)*fuFPPJ + float64(a.AGUOps)*fuAGUPJ
+	fs := a.FrontendScale
+	if fs == 0 {
+		fs = 1
+	}
+	dst["Frontend"] += float64(a.Frontend) * frontendPJ * fs
+	dst["Bpred"] += float64(a.BpredOps) * bpredPJ
+	dst["L1"] += float64(a.L1Access) * l1AccessPJ
+	dst["Leakage"] += a.StaticEnergy()
 }
 
 // Structures returns the registered structure names in registration order.

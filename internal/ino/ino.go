@@ -123,6 +123,14 @@ type Core struct {
 
 // New builds an in-order core running the given trace.
 func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
+	return NewAt(cfg, tr, 0, nil, hier, acct)
+}
+
+// NewAt builds a core whose frontend starts at trace position start with an
+// injected (possibly pre-trained) branch predictor; pred == nil allocates a
+// fresh one. The sampled-simulation driver uses it to open detailed windows
+// mid-trace against warmed shared state.
+func NewAt(cfg Config, tr *trace.Trace, start int, pred *bpred.Predictor, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
 	c := &Core{
 		cfg:  cfg,
 		hier: hier,
@@ -140,9 +148,14 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	c.fus.SetWakeQueue(c.wq)
 	c.sb.SetWakeQueue(c.wq)
 	hier.SetWakeQueue(c.wq)
+	rd := tr.Reader()
+	rd.Seek(start)
+	if pred == nil {
+		pred = bpred.NewPredictor()
+	}
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
-		tr.Reader(), bpred.NewPredictor(), hier, acct)
+		rd, pred, hier, acct)
 	c.fe.SetWakeQueue(c.wq)
 	c.hIQ = acct.Register(energy.Structure{Name: "IQ", Entries: cfg.IQSize, Bits: 64, Ports: 2 * cfg.Width})
 	c.hSCB = acct.Register(energy.Structure{Name: "SCB", Entries: cfg.SCBSize, Bits: 48, Ports: 2 * cfg.Width})

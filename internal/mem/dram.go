@@ -78,10 +78,16 @@ func (d *DRAM) rowOf(addr uint64) int64 {
 // core cycle t. It returns the core cycle at which the data transfer
 // completes.
 func (d *DRAM) Access(addr uint64, write bool, t int64) int64 {
-	if write {
-		d.Writes++
-	} else {
-		d.Reads++
+	return d.access(addr, write, t, true)
+}
+
+func (d *DRAM) access(addr uint64, write bool, t int64, count bool) int64 {
+	if count {
+		if write {
+			d.Writes++
+		} else {
+			d.Reads++
+		}
 	}
 	b := d.bankOf(addr)
 	row := d.rowOf(addr)
@@ -92,14 +98,20 @@ func (d *DRAM) Access(addr uint64, write bool, t int64) int64 {
 	var ready int64
 	switch {
 	case d.openRow[b] == row:
-		d.RowHits++
+		if count {
+			d.RowHits++
+		}
 		ready = start + d.tCAS
 	case d.openRow[b] == -1:
-		d.RowMisses++
+		if count {
+			d.RowMisses++
+		}
 		ready = start + d.tRCD + d.tCAS
 	default:
-		d.RowMisses++
-		d.RowConfl++
+		if count {
+			d.RowMisses++
+			d.RowConfl++
+		}
 		ready = start + d.tRP + d.tRCD + d.tCAS
 	}
 	d.openRow[b] = row
@@ -112,6 +124,45 @@ func (d *DRAM) Access(addr uint64, write bool, t int64) int64 {
 	d.busFree = done
 	d.bankFree[b] = done
 	return done
+}
+
+// WarmAccess replays an access for functional warming on the warmer's
+// virtual clock: open rows and bank/bus busy times evolve exactly as under
+// Access — DRAM occupancy is long-lived state (an unthrottled prefetch or
+// writeback stream builds a bus backlog that a later demand miss pays for
+// in one huge stall, possibly long after the traffic that caused it) — but
+// none of the Reads/Writes/Row* statistics move.
+func (d *DRAM) WarmAccess(addr uint64, write bool, t int64) int64 {
+	return d.access(addr, write, t, false)
+}
+
+// WarmDemand replays a demand fill (a load the core would block on) at
+// virtual time t and returns the queueing excess: how long the access waited
+// on busy banks or the bus beyond the worst-case unqueued service time. The
+// warmer advances its virtual clock by the excess — the base CPI it applies
+// per op already covers typical service latency, so only the backlog
+// payment is added on top.
+func (d *DRAM) WarmDemand(addr uint64, t int64) int64 {
+	done := d.access(addr, false, t, false)
+	if ex := done - t - (d.tRP + d.tRCD + d.tCAS + d.tBurst); ex > 0 {
+		return ex
+	}
+	return 0
+}
+
+// Rebase slides bank/bus busy times back by elapsed virtual cycles (clamped
+// at 0), re-expressing any residual backlog in a clock that restarts at 0.
+// The sampled driver calls it when a detailed window opens, so the window
+// inherits exactly the debt the warmed reference stream left outstanding.
+func (d *DRAM) Rebase(elapsed int64) {
+	for i := range d.bankFree {
+		if d.bankFree[i] -= elapsed; d.bankFree[i] < 0 {
+			d.bankFree[i] = 0
+		}
+	}
+	if d.busFree -= elapsed; d.busFree < 0 {
+		d.busFree = 0
+	}
 }
 
 // Reset clears bank/bus state and statistics.

@@ -68,6 +68,10 @@ type Hierarchy struct {
 	Stores     uint64
 	Fetches    uint64
 	LoadsByLvl [3]uint64
+
+	// Warm counts functional-warming replay activity (see warm.go); the
+	// timing counters above never move during warming.
+	Warm WarmStats
 }
 
 // NewHierarchy builds a hierarchy with the given configuration.
@@ -235,6 +239,7 @@ func (h *Hierarchy) Reset() {
 	}
 	h.Loads, h.Stores, h.Fetches = 0, 0, 0
 	h.LoadsByLvl = [3]uint64{}
+	h.Warm = WarmStats{}
 	h.wq = nil // detach the previous run's wakeup queue (Wake is nil-safe)
 }
 

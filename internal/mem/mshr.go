@@ -79,6 +79,15 @@ func (m *MSHRs) prune(now int64) {
 	}
 }
 
+// ResetTiming clears slot occupancy and outstanding fills — pure timing
+// state that cannot survive a clock restart — while keeping statistics.
+func (m *MSHRs) ResetTiming() {
+	for i := range m.slotFree {
+		m.slotFree[i] = 0
+	}
+	clear(m.fills) // keep the map's capacity: sampled runs reset per window
+}
+
 // Reset clears all state and statistics.
 func (m *MSHRs) Reset() {
 	for i := range m.slotFree {

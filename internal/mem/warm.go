@@ -1,0 +1,121 @@
+package mem
+
+// Functional warming: the sampled-simulation driver (internal/sim) replays
+// the trace between detailed windows against only the long-lived memory
+// state — cache tags/LRU/dirty bits, L2 prefetcher training, DRAM open rows
+// and bank/bus backlog — so the hierarchy never goes cold while the pipeline
+// is skipped. The Warm* entry points are content-plus-backlog only: no MSHR
+// occupancy, no wakeup-queue registration, and none of the timing-path
+// statistics (Loads/Stores/Fetches/LoadsByLvl, cache Accesses/Misses, DRAM
+// row counters) move, so a detailed window's counters describe only cycles
+// that were actually simulated.
+//
+// Each entry point takes the warmer's virtual clock vt and returns a stall:
+// the queueing excess a demand DRAM fill paid beyond its worst-case unqueued
+// service time (see DRAM.WarmDemand). The warmer adds the stall to vt —
+// that is how the accumulated bank/bus debt of an unthrottled prefetch or
+// writeback stream gets charged to the gap it is paid in, mirroring the
+// timing path where a blocked demand miss absorbs the whole backlog.
+
+// WarmStats counts functional-warming activity, kept apart from the
+// timing-path counters of the structures it touches.
+type WarmStats struct {
+	Fetches   uint64 // warmed I-side line fetches
+	Loads     uint64
+	Stores    uint64
+	L1IMisses uint64
+	L1DMisses uint64
+	L2Misses  uint64
+	DRAMStall uint64 // virtual cycles spent paying DRAM backlog
+}
+
+// WarmFetch replays an instruction fetch of the line containing pc at
+// virtual time vt against cache contents and DRAM backlog.
+func (h *Hierarchy) WarmFetch(pc uint64, vt int64) int64 {
+	h.Warm.Fetches++
+	// Clean I-side lines never write back.
+	if hit, _, _ := h.L1I.WarmAccess(pc, false); hit {
+		return 0
+	}
+	h.Warm.L1IMisses++
+	return h.warmFillFromL2(pc, vt)
+}
+
+// WarmLoad replays a data load at virtual time vt.
+func (h *Hierarchy) WarmLoad(pc, addr uint64, vt int64) int64 {
+	h.Warm.Loads++
+	return h.warmData(pc, addr, false, vt)
+}
+
+// WarmStore replays a store (write-allocate, like the timing path).
+func (h *Hierarchy) WarmStore(pc, addr uint64, vt int64) int64 {
+	h.Warm.Stores++
+	return h.warmData(pc, addr, true, vt)
+}
+
+func (h *Hierarchy) warmData(pc, addr uint64, write bool, vt int64) int64 {
+	hit, wb, victim := h.L1D.WarmAccess(addr, write)
+	if hit {
+		return 0
+	}
+	h.Warm.L1DMisses++
+	// Mirror the timing path: dirty L1 victims install into L2 (their own
+	// dirty victims write back to DRAM off the critical path), demand
+	// misses train the prefetcher, and the fill is read-allocated.
+	if wb {
+		if _, wb2, v2 := h.L2.WarmAccess(victim, true); wb2 {
+			h.DRAM.WarmAccess(v2, true, vt)
+		}
+	}
+	if h.pf != nil {
+		h.warmTrainPrefetcher(pc, addr, vt)
+	}
+	return h.warmFillFromL2(addr, vt)
+}
+
+// warmFillFromL2 replays fillFromL2 without MSHR/wakeup timing: the L2
+// lookup allocates on miss, dirty victims write back off the critical path,
+// and the demand fill itself reports its queueing excess so the warmer can
+// charge outstanding DRAM backlog to the virtual clock.
+func (h *Hierarchy) warmFillFromL2(addr uint64, vt int64) int64 {
+	hit, wb, victim := h.L2.WarmAccess(addr, false)
+	if hit {
+		return 0
+	}
+	h.Warm.L2Misses++
+	if wb {
+		h.DRAM.WarmAccess(victim, true, vt)
+	}
+	stall := h.DRAM.WarmDemand(addr, vt)
+	h.Warm.DRAMStall += uint64(stall)
+	return stall
+}
+
+// warmTrainPrefetcher mirrors trainPrefetcher: prefetch fills install into
+// the L2 instantly but their DRAM traffic occupies banks and the bus — the
+// principal source of the backlog WarmDemand later charges.
+func (h *Hierarchy) warmTrainPrefetcher(pc, addr uint64, vt int64) {
+	for _, pa := range h.pf.Train(pc, addr) {
+		if h.L2.Probe(pa) {
+			continue
+		}
+		h.DRAM.WarmAccess(pa, false, vt)
+		if wb, v := h.L2.Fill(pa); wb {
+			h.DRAM.WarmAccess(v, true, vt)
+		}
+	}
+}
+
+// ResetTiming prepares the hierarchy for a detailed window whose model
+// starts a fresh clock at cycle 0, given the virtual time elapsed since the
+// previous window's clock began. Window-local occupancy that cannot survive
+// a clock restart (MSHR fills and slots) is cleared; DRAM bank/bus busy
+// times — long-lived backlog — are rebased into the new clock instead, so
+// the window inherits exactly the debt the warmed stream left outstanding.
+// Cache contents, the prefetcher table, DRAM open rows and all statistics
+// are untouched.
+func (h *Hierarchy) ResetTiming(elapsed int64) {
+	h.mshr.ResetTiming()
+	h.DRAM.Rebase(elapsed)
+	h.wq = nil // the window's model attaches its own queue (Wake is nil-safe)
+}

@@ -1,0 +1,181 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCacheWarmAccessParity: WarmAccess must evolve tags/LRU/dirty bits
+// exactly like Access (including the remembered-index shortcut) while
+// moving none of the timing-path statistics. Two caches replay the same
+// pseudorandom stream, one per entry point, and must agree on every
+// per-op outcome and on final contents.
+func TestCacheWarmAccessParity(t *testing.T) {
+	timed := NewCache("timed", 8<<10, 4)
+	warmed := NewCache("warmed", 8<<10, 4)
+	rng := rand.New(rand.NewSource(11))
+	var addrs []uint64
+	for i := 0; i < 20000; i++ {
+		// Cluster addresses so the stream mixes hits (and repeated
+		// touches of the MRU line, exercising the warm shortcut), misses,
+		// and dirty evictions within a bounded footprint.
+		addr := uint64(rng.Intn(512))*BlockSize + uint64(rng.Intn(8))*64<<10
+		write := rng.Intn(4) == 0
+		h1, wb1, v1 := timed.Access(addr, write)
+		h2, wb2, v2 := warmed.WarmAccess(addr, write)
+		if h1 != h2 || wb1 != wb2 || v1 != v2 {
+			t.Fatalf("op %d (%#x write=%v): Access=(%v,%v,%#x) WarmAccess=(%v,%v,%#x)",
+				i, addr, write, h1, wb1, v1, h2, wb2, v2)
+		}
+		addrs = append(addrs, addr)
+	}
+	if warmed.Accesses != 0 || warmed.Misses != 0 || warmed.Evicts != 0 || warmed.DirtyEvs != 0 {
+		t.Errorf("WarmAccess moved timing statistics: %+v",
+			[]uint64{warmed.Accesses, warmed.Misses, warmed.Evicts, warmed.DirtyEvs})
+	}
+	if timed.Misses == 0 || timed.DirtyEvs == 0 {
+		t.Fatalf("stream too tame to validate parity: misses=%d dirtyEvs=%d", timed.Misses, timed.DirtyEvs)
+	}
+	for _, a := range addrs {
+		if timed.Probe(a) != warmed.Probe(a) {
+			t.Fatalf("contents diverge at %#x", a)
+		}
+	}
+}
+
+// TestDRAMWarmAccessParity: WarmAccess must return the same completion
+// times as Access (bank/bus occupancy and open rows are the warmed state)
+// while keeping every statistic at zero.
+func TestDRAMWarmAccessParity(t *testing.T) {
+	timed := NewDRAM()
+	warmed := NewDRAM()
+	rng := rand.New(rand.NewSource(13))
+	var vt int64
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(1<<20)) * BlockSize
+		write := rng.Intn(3) == 0
+		vt += int64(rng.Intn(20))
+		d1 := timed.Access(addr, write, vt)
+		d2 := warmed.WarmAccess(addr, write, vt)
+		if d1 != d2 {
+			t.Fatalf("op %d (%#x write=%v t=%d): Access done=%d WarmAccess done=%d",
+				i, addr, write, vt, d1, d2)
+		}
+	}
+	if warmed.Reads != 0 || warmed.Writes != 0 || warmed.RowHits != 0 ||
+		warmed.RowMisses != 0 || warmed.RowConfl != 0 {
+		t.Errorf("WarmAccess moved DRAM statistics: %+v",
+			[]uint64{warmed.Reads, warmed.Writes, warmed.RowHits, warmed.RowMisses, warmed.RowConfl})
+	}
+}
+
+// TestDRAMWarmDemandExcess: an unloaded device charges no queueing excess
+// (the warmer's base CPI already covers unqueued service latency); a bus
+// backlog built by a prior write burst is charged, and its magnitude is
+// exactly the wait beyond the worst-case unqueued service time.
+func TestDRAMWarmDemandExcess(t *testing.T) {
+	d := NewDRAM()
+	if ex := d.WarmDemand(0, 0); ex != 0 {
+		t.Fatalf("cold demand charged %d cycles of excess", ex)
+	}
+
+	d = NewDRAM()
+	// A same-bank write burst serializes on bank and bus, building debt.
+	var done int64
+	for i := 0; i < 64; i++ {
+		done = d.WarmAccess(uint64(i)*BlockSize*16*BlockSize, true, 0)
+	}
+	ex := d.WarmDemand(1<<30, 0)
+	if ex <= 0 {
+		t.Fatalf("demand behind a %d-cycle backlog charged no excess", done)
+	}
+	if ex > done {
+		t.Errorf("excess %d exceeds the raw backlog %d (worst-case service is pre-paid)", ex, done)
+	}
+}
+
+// TestDRAMRebase: sliding the clock back by the elapsed virtual time must
+// preserve residual backlog exactly, and a rebase past the backlog clamps
+// busy times to zero (a fully drained device).
+func TestDRAMRebase(t *testing.T) {
+	build := func() *DRAM {
+		d := NewDRAM()
+		for i := 0; i < 64; i++ {
+			d.WarmAccess(uint64(i)*BlockSize*16*BlockSize, true, 0)
+		}
+		return d
+	}
+	ref := build()
+	exAt := ref.WarmDemand(1<<30, 100) // excess seen 100 cycles in
+
+	d := build()
+	d.Rebase(100)
+	if got := d.WarmDemand(1<<30, 0); got != exAt {
+		t.Errorf("rebased excess %d, want %d (backlog must be clock-invariant)", got, exAt)
+	}
+
+	d = build()
+	d.Rebase(1 << 40)
+	if got := d.WarmDemand(1<<30, 0); got != 0 {
+		t.Errorf("excess %d after draining rebase, want 0", got)
+	}
+}
+
+// TestMSHRsResetTiming: a clock restart clears occupancy (outstanding
+// fills and busy slots) but keeps the statistics.
+func TestMSHRsResetTiming(t *testing.T) {
+	m := NewMSHRs(2)
+	m.Allocate(0x100, 0)
+	m.Complete(0x100, 500)
+	m.Allocate(0x200, 0)
+	m.Complete(0x200, 600)
+	m.Allocate(0x300, 0) // both slots busy until 500: stalls
+	m.Complete(0x300, 700)
+	if _, out := m.Lookup(0x100, 10); !out {
+		t.Fatal("fill of 0x100 should be outstanding before reset")
+	}
+	allocs, merges, stalls := m.Allocs, m.Merges, m.Stalls
+	if stalls == 0 || merges == 0 {
+		t.Fatalf("scenario should stall and merge: %d/%d", stalls, merges)
+	}
+
+	m.ResetTiming()
+	if _, out := m.Lookup(0x100, 10); out {
+		t.Error("outstanding fill survived ResetTiming")
+	}
+	if start := m.Allocate(0x400, 7); start != 7 {
+		t.Errorf("slot still busy after ResetTiming: start=%d, want 7", start)
+	}
+	if m.Merges != merges || m.Stalls != stalls {
+		t.Errorf("ResetTiming changed stats: merges %d->%d stalls %d->%d",
+			merges, m.Merges, stalls, m.Stalls)
+	}
+	if m.Allocs != allocs+1 {
+		t.Errorf("Allocs = %d, want %d", m.Allocs, allocs+1)
+	}
+}
+
+// TestHierarchyWarmSharesContents: a warmed line is a later detailed hit
+// (shared long-lived state), warm traffic moves only WarmStats, and
+// ResetTiming leaves cache contents and statistics untouched.
+func TestHierarchyWarmSharesContents(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	const addr = 0xABCD00
+	h.WarmLoad(0x400, addr, 0)
+	if !h.L1D.Probe(addr) {
+		t.Fatal("warmed load did not install into L1D")
+	}
+	if h.Warm.Loads != 1 || h.Warm.L1DMisses != 1 || h.Warm.L2Misses != 1 {
+		t.Errorf("WarmStats = %+v, want 1 load/L1D miss/L2 miss", h.Warm)
+	}
+	if h.L1D.Accesses != 0 || h.L2.Accesses != 0 || h.DRAM.Reads != 0 {
+		t.Error("warm load moved timing-path statistics")
+	}
+	h.ResetTiming(1000)
+	if !h.L1D.Probe(addr) || !h.L2.Probe(addr) {
+		t.Error("ResetTiming evicted warmed contents")
+	}
+	if h.Warm.Loads != 1 {
+		t.Error("ResetTiming cleared WarmStats")
+	}
+}

@@ -90,7 +90,7 @@ func buildPair(t *testing.T, spec Spec) (a, b propCore) {
 		t.Fatal(err)
 	}
 	mk := func() propCore {
-		c, _, err := build(spec, tr, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
+		c, _, err := build(spec, tr, 0, nil, mem.NewHierarchy(mem.DefaultConfig()), energy.NewAccountant())
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Model, err)
 		}

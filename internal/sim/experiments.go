@@ -17,6 +17,15 @@ type Options struct {
 	Ops    int
 	Warmup int
 	Seed   int64
+
+	// Sampling, when non-nil, runs every cell of the suite in sampled mode
+	// (see Spec.Sampling): figure tables are then built from sampled-mode
+	// IPC estimates instead of full-fidelity measurements.
+	Sampling *Sampling
+
+	// Workers bounds the sharded cell runner's parallelism for the suite;
+	// 0 means one worker per CPU (see RunCells).
+	Workers int
 }
 
 func (o Options) apps() []string {
@@ -33,6 +42,10 @@ func (o Options) fill(s *Spec) {
 		s.Warmup = DefaultWarmup
 	}
 	s.Seed = o.Seed
+	if o.Sampling != nil {
+		g := *o.Sampling
+		s.Sampling = &g
+	}
 }
 
 // traceLen returns the dynamic trace length a Run of these Options needs,
@@ -82,7 +95,7 @@ func runMatrix(o Options, mkSpecs func(app string) []Spec) (map[string][]Result,
 			cells = append(cells, Cell{App: app, Model: s.Model, Index: i, Spec: s})
 		}
 	}
-	results := RunCells(cells, 0, nil, nil)
+	results := RunCells(cells, o.Workers, nil, nil)
 	failed := map[string]bool{}
 	for _, r := range results {
 		if r.Err != nil {

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"casino/internal/ptrace"
+)
+
+// TestSampledCrossValidation is the error gate of the sampled mode,
+// asserting exactly the acceptance quantity: per-figure MAPE ≤ 3% over the
+// normalized-IPC metrics of a figure, sampled vs full fidelity. fig2
+// (InO, four SpecInO variants, OoO) and fig6 (InO, LSC, Freeway, CASINO,
+// OoO) together cover all five core models over every workload (25 apps).
+// The bound is on the figure-level quantity deliberately: window placement
+// is seed-keyed per workload, so all models of a workload sample the same
+// trace positions and most sampling error is common-mode in the normalized
+// ratio and the geomean; raw per-cell IPC on cache-hostile workloads
+// disperses several times wider and is not what any figure reports.
+func TestSampledCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation sweeps full-fidelity figure suites")
+	}
+	for _, fig := range []string{"fig2", "fig6"} {
+		full, err := BuildManifest(fig, Options{})
+		if err != nil {
+			t.Fatalf("full %s: %v", fig, err)
+		}
+		samp, err := BuildManifest(fig, Options{Sampling: &Sampling{}})
+		if err != nil {
+			t.Fatalf("sampled %s: %v", fig, err)
+		}
+		var sum float64
+		n := 0
+		for k, fv := range full.Metrics {
+			if !strings.Contains(k, "norm_ipc") || fv == 0 {
+				continue
+			}
+			sv, ok := samp.Metrics[k]
+			if !ok {
+				t.Fatalf("%s: sampled manifest missing metric %q", fig, k)
+			}
+			ape := math.Abs(sv-fv) / math.Abs(fv)
+			t.Logf("%-40s full=%.4f sampled=%.4f err=%.2f%%", k, fv, sv, 100*ape)
+			if ape > 0.06 {
+				t.Errorf("%s: sampled error %.2f%% on %s exceeds per-metric 6%% bound", fig, 100*ape, k)
+			}
+			sum += ape
+			n++
+		}
+		if n < 4 {
+			t.Fatalf("%s: expected several norm-ipc metrics, found %d", fig, n)
+		}
+		mape := sum / float64(n)
+		t.Logf("%s: per-figure IPC MAPE %.2f%% over %d metrics", fig, 100*mape, n)
+		if mape > 0.03 {
+			t.Errorf("%s: per-figure IPC MAPE %.2f%% exceeds 3%% bound", fig, 100*mape)
+		}
+	}
+}
+
+// TestSampledDeterminism: same spec + seed ⇒ byte-identical sampled result
+// (the sweep-manifest determinism gate builds on this).
+func TestSampledDeterminism(t *testing.T) {
+	for _, m := range []string{ModelCASINO, ModelOoO} {
+		spec := Spec{Model: m, Workload: "mcf", Sampling: &Sampling{}}
+		a, err := Run(spec)
+		if err != nil {
+			t.Fatalf("run 1 %s: %v", m, err)
+		}
+		b, err := Run(spec)
+		if err != nil {
+			t.Fatalf("run 2 %s: %v", m, err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if string(ja) != string(jb) {
+			t.Errorf("%s: sampled results differ between identical runs:\n%s\n%s", m, ja, jb)
+		}
+	}
+}
+
+// TestSampledMetricsNamespace: a sampled run publishes only sampled.*
+// metric names, so nothing it emits can ever collide with the
+// golden-gated full-fidelity namespace.
+func TestSampledMetricsNamespace(t *testing.T) {
+	res, err := Run(Spec{Model: ModelCASINO, Workload: "gcc", Sampling: &Sampling{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Extra) == 0 {
+		t.Fatal("sampled run published no metrics")
+	}
+	for name := range res.Extra {
+		if len(name) < 8 || name[:8] != "sampled." {
+			t.Errorf("sampled run leaked non-sampled metric %q", name)
+		}
+	}
+	if res.Sampled == nil {
+		t.Fatal("sampled run missing SampledStats")
+	}
+	if res.Sampled.IPC <= 0 || res.Sampled.EstCycles == 0 {
+		t.Errorf("degenerate sampled stats: %+v", res.Sampled)
+	}
+}
+
+// TestSamplingValidation covers geometry rejection and the too-small-region
+// error.
+func TestSamplingValidation(t *testing.T) {
+	if _, err := Run(Spec{Model: ModelCASINO, Workload: "gcc",
+		Sampling: &Sampling{Period: 100, DetailOps: 200, WarmOps: 10}}); err == nil {
+		t.Error("detail_ops > period accepted")
+	}
+	if _, err := Run(Spec{Model: ModelCASINO, Workload: "gcc",
+		Sampling: &Sampling{Period: 400, DetailOps: 200, WarmOps: 200}}); err == nil {
+		t.Error("warm_ops >= detail_ops accepted")
+	}
+	if _, err := Run(Spec{Model: ModelCASINO, Workload: "gcc", Ops: DefaultSampleDetail - 1,
+		Sampling: &Sampling{}}); err == nil {
+		t.Error("region smaller than one detailed window accepted")
+	}
+	if _, err := Run(Spec{Model: ModelCASINO, Workload: "gcc",
+		Sampling: &Sampling{}, TraceSink: ptrace.SinkFunc(func(ptrace.Event) {})}); err == nil {
+		t.Error("Sampling+TraceSink accepted")
+	}
+}

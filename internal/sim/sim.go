@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"casino/internal/bpred"
 	"casino/internal/core"
 	"casino/internal/energy"
 	"casino/internal/eventq"
@@ -126,6 +127,12 @@ type Spec struct {
 	// does not close the sink; the caller owns its lifecycle.
 	TraceSink   ptrace.Sink
 	TraceWindow ptrace.Window
+
+	// Sampling, when non-nil, switches the run to sampled simulation:
+	// short detailed windows alternating with functional-warming gaps (see
+	// sampling.go). Strictly opt-in — every nil-Sampling run behaves
+	// bit-identically to a build without this feature.
+	Sampling *Sampling
 }
 
 // Result is the outcome of one measured run.
@@ -160,6 +167,10 @@ type Result struct {
 	// fixed block (the data behind the paper's stacked bars in Fig. 9).
 	EnergyParts map[string]float64
 	AreaParts   map[string]float64
+
+	// Sampled carries the sampled-mode window statistics and confidence
+	// interval; nil for full-fidelity runs.
+	Sampled *SampledStats `json:"Sampled,omitempty"`
 }
 
 // DefaultOps and DefaultWarmup scale the paper's 300M-SimPoint regions to
@@ -176,6 +187,9 @@ func Run(s Spec) (Result, error) {
 	}
 	if s.Warmup < 0 {
 		s.Warmup = 0
+	}
+	if s.Sampling != nil {
+		return runSampled(s)
 	}
 	tr := s.Trace
 	if tr == nil {
@@ -196,7 +210,7 @@ func Run(s Spec) (Result, error) {
 	hier := getHierarchy(memCfg)
 	acct := energy.NewAccountant()
 
-	c, publish, err := build(s, tr, hier, acct)
+	c, publish, err := build(s, tr, 0, nil, hier, acct)
 	if err != nil {
 		return Result{}, err
 	}
@@ -212,10 +226,6 @@ func Run(s Spec) (Result, error) {
 
 	var cyc0 int64
 	var dyn0 float64
-	snapped := warm == 0
-	if snapped {
-		dyn0 = acct.DynamicEnergy()
-	}
 	ev, _ := c.(eventDriven)
 	if s.DisableFastForward || noFFEnv {
 		ev = nil
@@ -228,56 +238,10 @@ func Run(s Spec) (Result, error) {
 		pt.SetPipeTrace(ptrace.NewRecorder(s.TraceSink, s.TraceWindow))
 		ev = nil // trace every cycle; the event engine would elide the idle ones
 	}
-	var ffJumps, ffSkipped uint64
-	var lastSig uint64
-	sigValid := false
-	lastCommitted := ^uint64(0) // != Committed(): never consult before the first cycle
-	const cycleCap = 400_000_000
-	for c.Now() < cycleCap && !c.Done() && c.Committed() < target {
-		if !snapped && c.Committed() >= warm {
-			cyc0 = c.Now()
-			dyn0 = acct.DynamicEnergy()
-			snapped = true
-		}
-		// Only consult the wakeup queue after a cycle whose progress
-		// signature did not move — while work flows, per-cycle stepping is
-		// the common case and even an O(1) consult would be pure overhead.
-		// The gate is two-level: the commit counter (one load) filters the
-		// busy stretches, and the full signature is computed only across
-		// commit-free cycles. After a fully idle cycle, every state change
-		// the next cycles could make is announced on the queue (or caught by
-		// NextWake's streaming pre-checks), so when the next wake lies
-		// beyond the next cycle, FastForward runs that one cycle itself and
-		// jumps across the proven-idle gap — the loop must not also step it.
-		if ev != nil {
-			if c.Committed() != lastCommitted {
-				lastCommitted = c.Committed()
-				sigValid = false
-			} else if sig := ev.ProgressSignature(); !sigValid || sig != lastSig {
-				lastSig, sigValid = sig, true
-			} else if to := ev.NextWake(); to > c.Now()+1 {
-				if to > cycleCap {
-					to = cycleCap
-				}
-				// On a bail the embedded cycle changed the signature;
-				// lastSig keeps its pre-cycle value, so the next iteration's
-				// comparison fails once and steps normally.
-				before := c.Now()
-				if ev.FastForward(to) {
-					if skipped := uint64(c.Now() - before - 1); skipped > 0 {
-						ffJumps++
-						ffSkipped += skipped
-					}
-				}
-				continue
-			}
-		}
-		c.Cycle()
-	}
-	if !snapped {
+	ffJumps, ffSkipped := drive(c, ev, warm, target, func() {
 		cyc0 = c.Now()
 		dyn0 = acct.DynamicEnergy()
-	}
+	})
 	if c.Committed() < target && !c.Done() {
 		return Result{}, fmt.Errorf("sim: %s/%s exceeded cycle cap at %d committed", s.Model, tr.Name, c.Committed())
 	}
@@ -340,6 +304,71 @@ func Run(s Spec) (Result, error) {
 	return res, nil
 }
 
+// cycleCap bounds any single drive loop: a run (or sampled window) that has
+// not reached its commit target by then is reported as an error, not spun
+// forever.
+const cycleCap = 400_000_000
+
+// drive is the shared clock loop: it steps c until target micro-ops have
+// committed (or the core drains, or the cycle cap is hit), calling snap
+// exactly once when the committed count first reaches warm — the
+// measurement-window snapshot. It returns the fast-forward accounting.
+// Both the full-fidelity Run and each sampled detailed window use it, so
+// the event-driven gating below behaves identically in both modes.
+func drive(c Core, ev eventDriven, warm, target uint64, snap func()) (ffJumps, ffSkipped uint64) {
+	snapped := warm == 0
+	if snapped {
+		snap()
+	}
+	var lastSig uint64
+	sigValid := false
+	lastCommitted := ^uint64(0) // != Committed(): never consult before the first cycle
+	for c.Now() < cycleCap && !c.Done() && c.Committed() < target {
+		if !snapped && c.Committed() >= warm {
+			snap()
+			snapped = true
+		}
+		// Only consult the wakeup queue after a cycle whose progress
+		// signature did not move — while work flows, per-cycle stepping is
+		// the common case and even an O(1) consult would be pure overhead.
+		// The gate is two-level: the commit counter (one load) filters the
+		// busy stretches, and the full signature is computed only across
+		// commit-free cycles. After a fully idle cycle, every state change
+		// the next cycles could make is announced on the queue (or caught by
+		// NextWake's streaming pre-checks), so when the next wake lies
+		// beyond the next cycle, FastForward runs that one cycle itself and
+		// jumps across the proven-idle gap — the loop must not also step it.
+		if ev != nil {
+			if c.Committed() != lastCommitted {
+				lastCommitted = c.Committed()
+				sigValid = false
+			} else if sig := ev.ProgressSignature(); !sigValid || sig != lastSig {
+				lastSig, sigValid = sig, true
+			} else if to := ev.NextWake(); to > c.Now()+1 {
+				if to > cycleCap {
+					to = cycleCap
+				}
+				// On a bail the embedded cycle changed the signature;
+				// lastSig keeps its pre-cycle value, so the next iteration's
+				// comparison fails once and steps normally.
+				before := c.Now()
+				if ev.FastForward(to) {
+					if skipped := uint64(c.Now() - before - 1); skipped > 0 {
+						ffJumps++
+						ffSkipped += skipped
+					}
+				}
+				continue
+			}
+		}
+		c.Cycle()
+	}
+	if !snapped {
+		snap()
+	}
+	return ffJumps, ffSkipped
+}
+
 // recycler is implemented by models that can return pooled resources at
 // end of run.
 type recycler interface{ Recycle() }
@@ -370,7 +399,10 @@ func putHierarchy(h *mem.Hierarchy) { hierPool.Put(h) }
 // CASINO's and OoO's load-queue activity lives in the energy accountant
 // (the structure only exists in some configurations), so build bridges it
 // under the historical lqReads/lqWrites/lqSearches names.
-func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) (Core, func(*stats.Registry), error) {
+// build constructs at trace position start with an injected predictor
+// (nil = fresh): the sampled driver opens detailed windows mid-trace with
+// the shared warmed predictor; full-fidelity runs pass (0, nil).
+func build(s Spec, tr *trace.Trace, start int, pred *bpred.Predictor, hier *mem.Hierarchy, acct *energy.Accountant) (Core, func(*stats.Registry), error) {
 	lqAliases := func(r *stats.Registry) {
 		r.Counter("lqReads", acct.CountByName("LQ", energy.Read))
 		r.Counter("lqWrites", acct.CountByName("LQ", energy.Write))
@@ -382,7 +414,7 @@ func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant
 		if s.InOCfg != nil {
 			cfg = *s.InOCfg
 		}
-		c := ino.New(cfg, tr, hier, acct)
+		c := ino.NewAt(cfg, tr, start, pred, hier, acct)
 		return c, c.PublishMetrics, nil
 	case ModelOoO, ModelOoONoLQ:
 		cfg := ooo.DefaultConfig()
@@ -392,7 +424,7 @@ func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant
 		if s.Model == ModelOoONoLQ {
 			cfg.NoLQ = true
 		}
-		c := ooo.New(cfg, tr, hier, acct)
+		c := ooo.NewAt(cfg, tr, start, pred, hier, acct)
 		return c, func(r *stats.Registry) {
 			c.PublishMetrics(r)
 			lqAliases(r)
@@ -403,7 +435,7 @@ func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant
 		if s.CasinoCfg != nil {
 			cfg = *s.CasinoCfg
 		}
-		c := core.New(cfg, tr, hier, acct)
+		c := core.NewAt(cfg, tr, start, pred, hier, acct)
 		return c, func(r *stats.Registry) {
 			c.PublishMetrics(r)
 			lqAliases(r)
@@ -417,14 +449,14 @@ func build(s Spec, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant
 		if s.SliceCfg != nil {
 			cfg = *s.SliceCfg
 		}
-		c := slice.New(cfg, tr, hier, acct)
+		c := slice.NewAt(cfg, tr, start, pred, hier, acct)
 		return c, c.PublishMetrics, nil
 	case ModelSpecInO:
 		cfg := specino.DefaultConfig(2, 1)
 		if s.SpecInOCfg != nil {
 			cfg = *s.SpecInOCfg
 		}
-		c := specino.New(cfg, tr, hier, acct)
+		c := specino.NewAt(cfg, tr, start, pred, hier, acct)
 		return c, c.PublishMetrics, nil
 	default:
 		return nil, nil, fmt.Errorf("sim: unknown model %q (known: %v)", s.Model, Models())

@@ -152,7 +152,7 @@ func (tc *TraceCache) CheckIntegrity() []string {
 		default:
 			continue
 		}
-		if e.tr != nil && e.tr.Fingerprint() != e.fp {
+		if e.tr != nil && e.tr.Refingerprint() != e.fp {
 			bad = append(bad, k.workload)
 		}
 	}

@@ -141,6 +141,14 @@ type Core struct {
 
 // New builds a slice core over the trace.
 func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
+	return NewAt(cfg, tr, 0, nil, hier, acct)
+}
+
+// NewAt builds a core whose frontend starts at trace position start with an
+// injected (possibly pre-trained) branch predictor; pred == nil allocates a
+// fresh one. The sampled-simulation driver uses it to open detailed windows
+// mid-trace against warmed shared state.
+func NewAt(cfg Config, tr *trace.Trace, start int, pred *bpred.Predictor, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
 	c := &Core{
 		cfg:  cfg,
 		hier: hier,
@@ -165,9 +173,14 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	c.fus.SetWakeQueue(c.wq)
 	c.sb.SetWakeQueue(c.wq)
 	hier.SetWakeQueue(c.wq)
+	rd := tr.Reader()
+	rd.Seek(start)
+	if pred == nil {
+		pred = bpred.NewPredictor()
+	}
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
-		tr.Reader(), bpred.NewPredictor(), hier, acct)
+		rd, pred, hier, acct)
 	c.fe.SetWakeQueue(c.wq)
 	c.hAQ = acct.Register(energy.Structure{Name: "A-IQ", Entries: cfg.AQSize, Bits: 64, Ports: 2 * cfg.Width})
 	c.hBQ = acct.Register(energy.Structure{Name: "B-IQ", Entries: cfg.BQSize, Bits: 64, Ports: 2 * cfg.Width})

@@ -107,6 +107,14 @@ type Core struct {
 
 // New builds a SpecInO limit-study core over the trace.
 func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
+	return NewAt(cfg, tr, 0, nil, hier, acct)
+}
+
+// NewAt builds a core whose frontend starts at trace position start with an
+// injected (possibly pre-trained) branch predictor; pred == nil allocates a
+// fresh one. The sampled-simulation driver uses it to open detailed windows
+// mid-trace against warmed shared state.
+func NewAt(cfg Config, tr *trace.Trace, start int, pred *bpred.Predictor, hier *mem.Hierarchy, acct *energy.Accountant) *Core {
 	if cfg.WS < 1 || cfg.SO < 1 {
 		panic("specino: WS and SO must be positive")
 	}
@@ -132,9 +140,14 @@ func New(cfg Config, tr *trace.Trace, hier *mem.Hierarchy, acct *energy.Accounta
 	c.wq = eventq.New(2*cfg.IQSize + 16)
 	c.fus.SetWakeQueue(c.wq)
 	hier.SetWakeQueue(c.wq)
+	rd := tr.Reader()
+	rd.Seek(start)
+	if pred == nil {
+		pred = bpred.NewPredictor()
+	}
 	c.fe = frontend.New(
 		frontend.Config{Width: cfg.Width, Depth: cfg.FrontDepth, BufCap: 2 * cfg.Width},
-		tr.Reader(), bpred.NewPredictor(), hier, acct)
+		rd, pred, hier, acct)
 	c.fe.SetWakeQueue(c.wq)
 	return c
 }

@@ -5,6 +5,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"casino/internal/isa"
 )
@@ -20,13 +21,26 @@ import (
 type Trace struct {
 	Name string
 	Ops  []isa.MicroOp
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
-// Fingerprint returns an FNV-1a hash over every architecturally relevant
-// field of every op. Two traces with equal fingerprints replay identically;
-// a changed fingerprint after a run means a core violated the read-only
-// contract.
+// Fingerprint returns the trace's content hash, computing it on first use
+// and memoizing it — a Trace is immutable after construction, so the hash
+// is a stable identity (manifest builders call this once per figure). Code
+// that wants to *verify* immutability must use Refingerprint, which always
+// rehashes the ops.
 func (t *Trace) Fingerprint() uint64 {
+	t.fpOnce.Do(func() { t.fp = t.Refingerprint() })
+	return t.fp
+}
+
+// Refingerprint computes an FNV-1a hash over every architecturally relevant
+// field of every op, unconditionally. Two traces with equal fingerprints
+// replay identically; a changed fingerprint after a run means a core
+// violated the read-only contract.
+func (t *Trace) Refingerprint() uint64 {
 	h := uint64(1469598103934665603)
 	mix := func(v uint64) {
 		for i := 0; i < 8; i++ {
